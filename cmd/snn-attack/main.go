@@ -1,0 +1,97 @@
+// Command snn-attack runs one of the paper's five power attacks against
+// the Diehl&Cook digit classifier and reports accuracy relative to the
+// attack-free baseline, optionally with a defense applied.
+//
+// Usage:
+//
+//	snn-attack -attack 3 -change -20 -fraction 100 [-n 1000]
+//	snn-attack -attack 5 -vdd 0.8 [-defense bandgap]
+//	snn-attack -attack 4 -change -20 -defense sizing
+//
+// Attacks: 1 (driver theta), 2 (excitatory threshold), 3 (inhibitory
+// threshold), 4 (both layers), 5 (black-box VDD).
+// Defenses: none, robust-driver, bandgap, sizing, comparator.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"snnfi/internal/core"
+	"snnfi/internal/defense"
+	"snnfi/internal/snn"
+	"snnfi/internal/xfer"
+)
+
+func main() {
+	var (
+		attack   = flag.Int("attack", 3, "attack number (1-5)")
+		changePc = flag.Float64("change", -20, "parameter change in percent (attacks 1-4)")
+		fraction = flag.Float64("fraction", 100, "percent of the layer affected (attacks 2-3)")
+		vdd      = flag.Float64("vdd", 0.8, "supply voltage (attack 5)")
+		nImages  = flag.Int("n", 1000, "training images")
+		dataDir  = flag.String("data", "", "optional real-MNIST directory")
+		defName  = flag.String("defense", "none", "defense: none|robust-driver|bandgap|sizing|comparator")
+	)
+	flag.Parse()
+
+	var plan *core.FaultPlan
+	switch *attack {
+	case 1:
+		plan = core.NewAttack1(1 + *changePc/100)
+	case 2:
+		plan = core.NewAttack2(1+*changePc/100, *fraction/100, 99)
+	case 3:
+		plan = core.NewAttack3(1+*changePc/100, *fraction/100, 99)
+	case 4:
+		plan = core.NewAttack4(1 + *changePc/100)
+	case 5:
+		plan = core.NewAttack5(*vdd, xfer.IAF)
+	default:
+		fatal(fmt.Errorf("unknown attack %d (want 1-5)", *attack))
+	}
+
+	var def defense.Defense
+	switch *defName {
+	case "none":
+	case "robust-driver":
+		def = defense.RobustDriver{ResidualPc: 0.1}
+	case "bandgap":
+		def = defense.BandgapThreshold{Kind: xfer.IAF}
+	case "sizing":
+		def = defense.Sizing{WLMultiple: 32}
+	case "comparator":
+		def = defense.ComparatorNeuron{}
+	default:
+		fatal(fmt.Errorf("unknown defense %q", *defName))
+	}
+	if def != nil {
+		plan = def.Harden(plan)
+	}
+
+	exp, err := core.NewExperiment(*dataDir, *nImages, snn.DefaultConfig())
+	if err != nil {
+		fatal(err)
+	}
+	base, err := exp.Baseline()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("plan: %s\n", plan.Name)
+	for _, f := range plan.Faults {
+		fmt.Printf("  %-12v scale %.4f over %.0f%% of the layer\n", f.Layer, f.Scale, 100*f.Fraction)
+	}
+	res, err := exp.Run(plan)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("baseline accuracy: %.2f%%\n", 100*base)
+	fmt.Printf("attacked accuracy: %.2f%%\n", 100*res.Accuracy)
+	fmt.Printf("relative change:   %+.2f%%\n", res.RelChangePc)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "snn-attack:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,68 @@
+// Command snn-train trains the Diehl&Cook network on the digit corpus
+// without any fault injection and reports the baseline classification
+// accuracy (the reference every attack is measured against; the paper
+// reports 75.92% on 1000 training images).
+//
+// Usage:
+//
+//	snn-train [-n 1000] [-data DIR] [-neurons 100] [-steps 250] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"snnfi/internal/encoding"
+	"snnfi/internal/mnist"
+	"snnfi/internal/snn"
+)
+
+func main() {
+	var (
+		nImages = flag.Int("n", 1000, "training images")
+		dataDir = flag.String("data", "", "optional real-MNIST directory (IDX files)")
+		neurons = flag.Int("neurons", 100, "excitatory/inhibitory neurons per layer")
+		steps   = flag.Int("steps", 250, "presentation steps per image (ms)")
+		seed    = flag.Int64("seed", 1, "weight-initialization seed")
+	)
+	flag.Parse()
+
+	images, err := mnist.Load(*dataDir, *nImages, 7)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := snn.DefaultConfig()
+	cfg.NExc, cfg.NInh = *neurons, *neurons
+	cfg.Steps = *steps
+	cfg.Seed = *seed
+
+	net, err := snn.NewDiehlCook(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	enc := encoding.NewPoissonEncoder(42)
+	res, err := snn.Train(net, images, enc)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("images: %d   neurons: %d+%d   steps/image: %d\n",
+		len(images), cfg.NExc, cfg.NInh, cfg.Steps)
+	fmt.Printf("baseline accuracy: %.2f%%   (paper baseline: 75.92%%)\n", 100*res.Accuracy)
+	fmt.Printf("total excitatory spikes: %.0f (%.1f per image)\n",
+		res.TotalSpikes, res.TotalSpikes/float64(len(images)))
+
+	var perClass [10]int
+	for _, a := range res.Assignments {
+		if a >= 0 {
+			perClass[a]++
+		}
+	}
+	fmt.Printf("neurons assigned per class: %v\n", perClass)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "snn-train:", err)
+	os.Exit(1)
+}

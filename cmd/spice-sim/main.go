@@ -1,0 +1,252 @@
+// Command spice-sim runs the circuit-level characterizations on the
+// built-in analog neuron netlists: transient waveforms, threshold and
+// time-to-spike sweeps versus VDD, driver amplitude sweeps, sizing
+// sweeps, and dummy-neuron counts.
+//
+// Usage:
+//
+//	spice-sim -circuit ah|iaf|driver|robust-driver|comparator|dummy-ah|dummy-iaf [-vdd 1.0]
+//	spice-sim -circuit ah -sweep vdd
+//	spice-sim -circuit ah -sweep sizing
+//	spice-sim -netlist deck.sp -tran 20u -dt 10n -node vout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"snnfi/internal/neuron"
+	"snnfi/internal/spice"
+)
+
+func main() {
+	var (
+		circuit = flag.String("circuit", "ah", "ah|iaf|driver|robust-driver|comparator|dummy-ah|dummy-iaf")
+		vdd     = flag.Float64("vdd", 1.0, "supply voltage")
+		sweep   = flag.String("sweep", "", "optional sweep: vdd|sizing|amplitude")
+		netlist = flag.String("netlist", "", "simulate a SPICE text deck instead of a built-in circuit")
+		tranArg = flag.String("tran", "20u", "transient stop time for -netlist")
+		dtArg   = flag.String("dt", "10n", "transient step for -netlist")
+		node    = flag.String("node", "", "node to report for -netlist (default: spike-count every node)")
+	)
+	flag.Parse()
+
+	if *netlist != "" {
+		if err := runNetlist(*netlist, *tranArg, *dtArg, *node); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *sweep != "" {
+		if err := runSweep(*circuit, *sweep); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := runSingle(*circuit, *vdd); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "spice-sim:", err)
+	os.Exit(1)
+}
+
+// runNetlist parses a text deck, runs a transient, and summarizes the
+// requested node (or all nodes).
+func runNetlist(path, tranStr, dtStr, node string) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	c, err := spice.ParseNetlist(string(src))
+	if err != nil {
+		return err
+	}
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	stop, err := spice.ParseValue(tranStr)
+	if err != nil {
+		return fmt.Errorf("-tran: %w", err)
+	}
+	dt, err := spice.ParseValue(dtStr)
+	if err != nil {
+		return fmt.Errorf("-dt: %w", err)
+	}
+	res, err := c.Tran(spice.TranOptions{Dt: dt, Stop: stop, UIC: true})
+	if err != nil {
+		return err
+	}
+	nodes := c.NodeNames()
+	if node != "" {
+		nodes = []string{node}
+	}
+	for _, n := range nodes {
+		v := res.V(n)
+		if v == nil {
+			return fmt.Errorf("no node %q in deck", n)
+		}
+		peak := spice.Peak(res.Time, v, 0, stop)
+		final := spice.SettledValue(res.Time, v, 0.1)
+		spikes := spice.SpikeCount(res.Time, v, peak/2)
+		fmt.Printf("%-10s peak %.4f V  settled %.4f V  spikes(>half-peak) %d\n", n, peak, final, spikes)
+	}
+	return nil
+}
+
+func runSingle(circuit string, vdd float64) error {
+	switch circuit {
+	case "ah":
+		n := neuron.NewAxonHillock()
+		n.VDD = vdd
+		res, err := n.Simulate(40e-6, 10e-9)
+		if err != nil {
+			return err
+		}
+		thr, err := n.Threshold()
+		if err != nil {
+			return err
+		}
+		tts, err := spice.FirstCrossing(res.Time, res.V("vout"), vdd/2, true)
+		if err != nil {
+			return err
+		}
+		period, _ := spice.SpikePeriod(res.Time, res.V("vout"), vdd/2)
+		fmt.Printf("axon hillock @ VDD=%.2f: threshold %.4f V, time-to-spike %.3g µs, period %.3g µs, %d spikes/40 µs\n",
+			vdd, thr, tts*1e6, period*1e6, spice.SpikeCount(res.Time, res.V("vout"), vdd/2))
+	case "iaf":
+		n := neuron.NewIAF()
+		n.VDD = vdd
+		thr, err := n.MeasuredThreshold(250e-6, 10e-9)
+		if err != nil {
+			return err
+		}
+		tts, err := n.TimeToSpike(250e-6, 10e-9)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("voltage-amplifier I&F @ VDD=%.2f: threshold %.4f V (divider %.4f), time-to-spike %.3g µs\n",
+			vdd, thr, n.ThresholdVoltage(), tts*1e6)
+	case "driver":
+		d := neuron.NewDriver()
+		d.VDD = vdd
+		amp, err := d.Amplitude()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("current-mirror driver @ VDD=%.2f: output spike amplitude %.1f nA\n", vdd, amp*1e9)
+	case "robust-driver":
+		d := neuron.NewRobustDriver()
+		d.VDD = vdd
+		amp, err := d.Amplitude()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("robust driver @ VDD=%.2f: output amplitude %.1f nA\n", vdd, amp*1e9)
+	case "comparator":
+		n := neuron.NewComparatorAH()
+		n.VDD = vdd
+		thr, err := n.MeasuredThreshold(40e-6, 10e-9)
+		if err != nil {
+			return err
+		}
+		tts, err := n.TimeToSpike(40e-6, 10e-9)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("comparator AH @ VDD=%.2f: threshold %.4f V, time-to-spike %.3g µs\n", vdd, thr, tts*1e6)
+	case "dummy-ah", "dummy-iaf":
+		kind := neuron.DummyAxonHillock
+		if circuit == "dummy-iaf" {
+			kind = neuron.DummyIAF
+		}
+		d := neuron.NewDummyNeuron(kind)
+		d.VDD = vdd
+		count, err := d.SpikeCount(100e-3)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("dummy %v @ VDD=%.2f: %d output spikes per 100 ms window\n", kind, vdd, count)
+	default:
+		return fmt.Errorf("unknown circuit %q", circuit)
+	}
+	return nil
+}
+
+func runSweep(circuit, sweep string) error {
+	vdds := []float64{0.8, 0.9, 1.0, 1.1, 1.2}
+	switch {
+	case circuit == "ah" && sweep == "vdd":
+		thr, err := neuron.AHThresholdVsVDD(vdds)
+		if err != nil {
+			return err
+		}
+		tts, err := neuron.AHTimeToSpikeVsVDD(vdds)
+		if err != nil {
+			return err
+		}
+		fmt.Println("VDD    threshold(V)  tts(µs)")
+		for i := range vdds {
+			fmt.Printf("%.2f   %9.4f   %8.3f\n", vdds[i], thr[i].Y, tts[i].Y*1e6)
+		}
+	case circuit == "iaf" && sweep == "vdd":
+		tts, err := neuron.IAFTimeToSpikeVsVDD(vdds)
+		if err != nil {
+			return err
+		}
+		thr := neuron.IAFThresholdVsVDD(vdds)
+		fmt.Println("VDD    threshold(V)  tts(µs)")
+		for i := range vdds {
+			fmt.Printf("%.2f   %9.4f   %8.3f\n", vdds[i], thr[i].Y, tts[i].Y*1e6)
+		}
+	case circuit == "ah" && sweep == "sizing":
+		pts, err := neuron.AHThresholdVsSizing(0.8, []float64{1, 2, 4, 8, 16, 32})
+		if err != nil {
+			return err
+		}
+		fmt.Println("W/L×   threshold @0.8V (V)")
+		for _, p := range pts {
+			fmt.Printf("%4.0f   %.4f\n", p.X, p.Y)
+		}
+	case circuit == "driver" && sweep == "vdd":
+		pts, err := neuron.DriverAmplitudeVsVDD(vdds)
+		if err != nil {
+			return err
+		}
+		fmt.Println("VDD    amplitude(nA)")
+		for _, p := range pts {
+			fmt.Printf("%.2f   %8.1f\n", p.X, p.Y*1e9)
+		}
+	case circuit == "robust-driver" && sweep == "vdd":
+		pts, err := neuron.RobustDriverAmplitudeVsVDD(vdds)
+		if err != nil {
+			return err
+		}
+		fmt.Println("VDD    amplitude(nA)")
+		for _, p := range pts {
+			fmt.Printf("%.2f   %8.1f\n", p.X, p.Y*1e9)
+		}
+	case (circuit == "ah" || circuit == "iaf") && sweep == "amplitude":
+		amps := []float64{136e-9, 168e-9, 200e-9, 232e-9, 264e-9}
+		var pts []neuron.Point
+		var err error
+		if circuit == "ah" {
+			pts, err = neuron.AHTimeToSpikeVsAmplitude(amps)
+		} else {
+			pts, err = neuron.IAFTimeToSpikeVsAmplitude(amps)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Println("I(nA)  tts(µs)")
+		for _, p := range pts {
+			fmt.Printf("%5.0f  %8.3f\n", p.X*1e9, p.Y*1e6)
+		}
+	default:
+		return fmt.Errorf("unsupported sweep %q for circuit %q", sweep, circuit)
+	}
+	return nil
+}

@@ -1,0 +1,48 @@
+// Attack sweep: a white-box campaign over layers × threshold change ×
+// fraction-of-layer, the reduced-scale analogue of the paper's Figs.
+// 8a/8b. Shows the asymmetry between excitatory- and inhibitory-layer
+// vulnerability and the dilution effect of partial-layer glitches.
+//
+// Run with: go run ./examples/attack-sweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"snnfi/internal/core"
+	"snnfi/internal/snn"
+)
+
+func main() {
+	cfg := snn.DefaultConfig()
+	cfg.NExc, cfg.NInh = 40, 40
+	cfg.Steps = 150
+
+	exp, err := core.NewExperiment("", 300, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := exp.Baseline()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline: %.1f%%\n\n", 100*base)
+
+	changes := []float64{-20, 20}
+	fractions := []float64{50, 100}
+	for _, layer := range []core.Layer{core.Excitatory, core.Inhibitory} {
+		fmt.Printf("--- %v layer ---\n", layer)
+		pts, err := exp.LayerGrid(layer, changes, fractions)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, p := range pts {
+			fmt.Printf("  Δthr %+3.0f%%, %3.0f%% of layer: accuracy %.1f%% (%+.1f%%)\n",
+				p.ScalePc, p.FractionPc, 100*p.Result.Accuracy, p.Result.RelChangePc)
+		}
+		worst := core.WorstCase(pts)
+		fmt.Printf("  worst: %+.1f%% at Δthr %+0.f%%, fraction %.0f%%\n\n",
+			worst.Result.RelChangePc, worst.ScalePc, worst.FractionPc)
+	}
+}

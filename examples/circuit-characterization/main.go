@@ -1,0 +1,62 @@
+// Circuit characterization: drive the SPICE substrate directly —
+// simulate both analog neuron circuits and extract the transfer curves
+// the attacks exploit (threshold vs VDD, time-to-spike vs VDD, driver
+// amplitude vs VDD), the circuit-level half of the paper (Figs. 3–6).
+//
+// Run with: go run ./examples/circuit-characterization
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"snnfi/internal/neuron"
+	"snnfi/internal/spice"
+)
+
+func main() {
+	// Transient of the Axon Hillock neuron: membrane sawtooth + output
+	// spikes (Fig. 3).
+	ah := neuron.NewAxonHillock()
+	res, err := ah.Simulate(20e-6, 10e-9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spikes := spice.SpikeCount(res.Time, res.V("vout"), 0.5)
+	tts, err := spice.FirstCrossing(res.Time, res.V("vout"), 0.5, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Axon Hillock: first spike at %.2f µs, %d spikes in 20 µs\n", tts*1e6, spikes)
+
+	// Threshold vs supply (Fig. 6a) — the attack surface.
+	vdds := []float64{0.8, 0.9, 1.0, 1.1, 1.2}
+	thr, err := neuron.AHThresholdVsVDD(vdds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nAH membrane threshold vs VDD (paper: −17.91% … +16.76%):")
+	for _, p := range thr {
+		fmt.Printf("  VDD %.2f → %.4f V (%+.2f%%)\n", p.X, p.Y, neuron.PercentChange(p.Y, thr[2].Y))
+	}
+
+	// Driver amplitude vs supply (Fig. 5b).
+	amps, err := neuron.DriverAmplitudeVsVDD(vdds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ndriver spike amplitude vs VDD (paper: −32% … +32%):")
+	for _, p := range amps {
+		fmt.Printf("  VDD %.2f → %.1f nA (%+.1f%%)\n", p.X, p.Y*1e9, neuron.PercentChange(p.Y, amps[2].Y))
+	}
+
+	// I&F time-to-spike vs supply (Fig. 6c).
+	tt, err := neuron.IAFTimeToSpikeVsVDD([]float64{0.8, 1.0, 1.2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nI&F time-to-spike vs VDD (paper: −17.05% … +23.53%):")
+	for _, p := range tt {
+		fmt.Printf("  VDD %.2f → %.2f µs (%+.1f%%)\n", p.X, p.Y*1e6, neuron.PercentChange(p.Y, tt[1].Y))
+	}
+}

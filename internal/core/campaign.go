@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+
+	"snnfi/internal/encoding"
+	"snnfi/internal/mnist"
+	"snnfi/internal/snn"
+	"snnfi/internal/xfer"
+)
+
+// Experiment fixes the data, network configuration and random seeds for
+// a campaign, so every attack configuration trains an identical network
+// on identical spike trains and differs only in the injected fault —
+// the paper's protocol (train under attack, report accuracy relative to
+// the attack-free baseline).
+type Experiment struct {
+	Images  []mnist.Image
+	Cfg     snn.DiehlCookConfig
+	EncSeed int64
+
+	baseline float64
+	haveBase bool
+}
+
+// NewExperiment prepares a campaign over n digit images. dataDir may
+// point at a real MNIST directory; the synthetic corpus is used
+// otherwise (see mnist.Load).
+func NewExperiment(dataDir string, n int, cfg snn.DiehlCookConfig) (*Experiment, error) {
+	images, err := mnist.Load(dataDir, n, 7)
+	if err != nil {
+		return nil, err
+	}
+	return &Experiment{Images: images, Cfg: cfg, EncSeed: 42}, nil
+}
+
+// Result is one attack configuration's outcome.
+type Result struct {
+	Plan        *FaultPlan
+	Accuracy    float64
+	Baseline    float64
+	RelChangePc float64 // 100·(acc−base)/base, the paper's reported metric
+	TotalSpikes float64
+}
+
+// Run trains a fresh network under the given plan (nil for the
+// attack-free baseline) and scores it.
+func (e *Experiment) Run(plan *FaultPlan) (*Result, error) {
+	n, err := snn.NewDiehlCook(e.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	if plan != nil {
+		revert, err := plan.Apply(n)
+		if err != nil {
+			return nil, err
+		}
+		defer revert()
+	}
+	enc := encoding.NewPoissonEncoder(e.EncSeed)
+	res, err := snn.Train(n, e.Images, enc)
+	if err != nil {
+		return nil, err
+	}
+	base, err := e.Baseline()
+	if err != nil {
+		return nil, err
+	}
+	r := &Result{
+		Plan:        plan,
+		Accuracy:    res.Accuracy,
+		Baseline:    base,
+		TotalSpikes: res.TotalSpikes,
+	}
+	if base > 0 {
+		r.RelChangePc = 100 * (res.Accuracy - base) / base
+	}
+	return r, nil
+}
+
+// Baseline returns (computing once) the attack-free accuracy.
+func (e *Experiment) Baseline() (float64, error) {
+	if e.haveBase {
+		return e.baseline, nil
+	}
+	n, err := snn.NewDiehlCook(e.Cfg)
+	if err != nil {
+		return 0, err
+	}
+	enc := encoding.NewPoissonEncoder(e.EncSeed)
+	res, err := snn.Train(n, e.Images, enc)
+	if err != nil {
+		return 0, err
+	}
+	e.baseline = res.Accuracy
+	e.haveBase = true
+	return e.baseline, nil
+}
+
+// SweepPoint is one cell of a campaign sweep.
+type SweepPoint struct {
+	ScalePc    float64 // threshold/theta change in percent (−20 … +20)
+	FractionPc float64 // portion of the layer affected in percent
+	VDD        float64 // supply voltage (Attack 5 sweeps)
+	Result     *Result
+}
+
+// Attack1Sweep reproduces Fig. 7b: classification accuracy versus theta
+// (per-input-spike membrane charge) change.
+func (e *Experiment) Attack1Sweep(changesPc []float64) ([]SweepPoint, error) {
+	out := make([]SweepPoint, 0, len(changesPc))
+	for _, c := range changesPc {
+		res, err := e.Run(NewAttack1(1 + c/100))
+		if err != nil {
+			return nil, fmt.Errorf("core: attack 1 at %+.0f%%: %w", c, err)
+		}
+		out = append(out, SweepPoint{ScalePc: c, FractionPc: 100, Result: res})
+	}
+	return out, nil
+}
+
+// LayerGrid reproduces Figs. 8a/8b: accuracy over threshold change ×
+// fraction-of-layer for one layer (Excitatory → Attack 2, Inhibitory →
+// Attack 3).
+func (e *Experiment) LayerGrid(layer Layer, changesPc, fractionsPc []float64) ([]SweepPoint, error) {
+	var out []SweepPoint
+	for _, c := range changesPc {
+		for _, f := range fractionsPc {
+			var plan *FaultPlan
+			switch layer {
+			case Excitatory:
+				plan = NewAttack2(1+c/100, f/100, 99)
+			case Inhibitory:
+				plan = NewAttack3(1+c/100, f/100, 99)
+			default:
+				return nil, fmt.Errorf("core: layer grid needs a neuron layer, got %v", layer)
+			}
+			res, err := e.Run(plan)
+			if err != nil {
+				return nil, fmt.Errorf("core: %v grid at %+.0f%%/%.0f%%: %w", layer, c, f, err)
+			}
+			out = append(out, SweepPoint{ScalePc: c, FractionPc: f, Result: res})
+		}
+	}
+	return out, nil
+}
+
+// Attack4Sweep reproduces Fig. 8c: accuracy versus threshold change
+// with both layers fully affected.
+func (e *Experiment) Attack4Sweep(changesPc []float64) ([]SweepPoint, error) {
+	out := make([]SweepPoint, 0, len(changesPc))
+	for _, c := range changesPc {
+		res, err := e.Run(NewAttack4(1 + c/100))
+		if err != nil {
+			return nil, fmt.Errorf("core: attack 4 at %+.0f%%: %w", c, err)
+		}
+		out = append(out, SweepPoint{ScalePc: c, FractionPc: 100, Result: res})
+	}
+	return out, nil
+}
+
+// Attack5Sweep reproduces Fig. 9a: accuracy versus VDD for the whole
+// shared-supply system.
+func (e *Experiment) Attack5Sweep(vdds []float64, kind xfer.NeuronKind) ([]SweepPoint, error) {
+	out := make([]SweepPoint, 0, len(vdds))
+	for _, v := range vdds {
+		res, err := e.Run(NewAttack5(v, kind))
+		if err != nil {
+			return nil, fmt.Errorf("core: attack 5 at VDD=%.2f: %w", v, err)
+		}
+		out = append(out, SweepPoint{VDD: v, FractionPc: 100, Result: res})
+	}
+	return out, nil
+}
+
+// WorstCase returns the sweep point with the most negative relative
+// accuracy change.
+func WorstCase(points []SweepPoint) SweepPoint {
+	worst := points[0]
+	for _, p := range points[1:] {
+		if p.Result.RelChangePc < worst.Result.RelChangePc {
+			worst = p
+		}
+	}
+	return worst
+}

@@ -1,0 +1,312 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"snnfi/internal/snn"
+	"snnfi/internal/xfer"
+)
+
+func smallNet(t *testing.T) *snn.DiehlCook {
+	t.Helper()
+	cfg := snn.DefaultConfig()
+	cfg.NExc, cfg.NInh = 20, 20
+	cfg.Steps = 100
+	n, err := snn.NewDiehlCook(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestFaultSpecValidation(t *testing.T) {
+	if err := (FaultSpec{Scale: 0, Fraction: 1}).Validate(); err == nil {
+		t.Fatal("zero scale must fail")
+	}
+	if err := (FaultSpec{Scale: 1, Fraction: 1.5}).Validate(); err == nil {
+		t.Fatal("fraction > 1 must fail")
+	}
+	if err := (FaultSpec{Scale: 0.8, Fraction: 0.5}).Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+}
+
+func TestApplyAndRevert(t *testing.T) {
+	n := smallNet(t)
+	plan := NewAttack4(0.8)
+	revert, err := plan.Apply(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range n.Exc.ThreshScale {
+		if n.Exc.ThreshScale[i] != 0.8 || n.Inh.ThreshScale[i] != 0.8 {
+			t.Fatal("Attack 4 must scale both layers fully")
+		}
+	}
+	revert()
+	for i := range n.Exc.ThreshScale {
+		if n.Exc.ThreshScale[i] != 1 || n.Inh.ThreshScale[i] != 1 {
+			t.Fatal("revert must restore nominal scales")
+		}
+	}
+}
+
+func TestFractionMasking(t *testing.T) {
+	n := smallNet(t)
+	plan := NewAttack3(0.8, 0.5, 123)
+	revert, err := plan.Apply(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer revert()
+	affected := 0
+	for _, s := range n.Inh.ThreshScale {
+		if s != 1 {
+			affected++
+		}
+	}
+	if affected != 10 {
+		t.Fatalf("50%% of 20 neurons should be affected, got %d", affected)
+	}
+	// Excitatory layer untouched by Attack 3.
+	for _, s := range n.Exc.ThreshScale {
+		if s != 1 {
+			t.Fatal("Attack 3 must not touch the excitatory layer")
+		}
+	}
+}
+
+func TestFractionMaskDeterministicInSeed(t *testing.T) {
+	pick := func(seed int64) []float64 {
+		n := smallNet(t)
+		revert, err := NewAttack2(0.9, 0.3, seed).Apply(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer revert()
+		return n.Exc.ThreshScale.Copy()
+	}
+	a, b := pick(5), pick(5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must pick the same neurons")
+		}
+	}
+}
+
+func TestAttack1TargetsDriversOnly(t *testing.T) {
+	n := smallNet(t)
+	revert, err := NewAttack1(1.32).Apply(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer revert()
+	for _, g := range n.Exc.InputGain {
+		if math.Abs(g-1.32) > 1e-12 {
+			t.Fatalf("driver gain = %v, want 1.32", g)
+		}
+	}
+	for i := range n.Exc.ThreshScale {
+		if n.Exc.ThreshScale[i] != 1 || n.Inh.ThreshScale[i] != 1 {
+			t.Fatal("Attack 1 must not touch thresholds")
+		}
+	}
+}
+
+func TestAttack5ComposesCircuitCurves(t *testing.T) {
+	plan := NewAttack5(0.8, xfer.IAF)
+	if len(plan.Faults) != 3 {
+		t.Fatalf("Attack 5 should corrupt drivers + both layers, got %d faults", len(plan.Faults))
+	}
+	var driverScale, thrScale float64
+	for _, f := range plan.Faults {
+		switch f.Layer {
+		case Drivers:
+			driverScale = f.Scale
+		case Inhibitory:
+			thrScale = f.Scale
+		}
+	}
+	if math.Abs(driverScale-0.68) > 1e-9 {
+		t.Fatalf("driver scale at 0.8 V = %v, want 0.68 (Fig. 5b)", driverScale)
+	}
+	if math.Abs(thrScale-(1-0.1801)) > 1e-9 {
+		t.Fatalf("threshold scale at 0.8 V = %v, want 0.8199 (Fig. 6a)", thrScale)
+	}
+}
+
+func TestAttack5NominalIsNoOp(t *testing.T) {
+	plan := NewAttack5(1.0, xfer.AxonHillock)
+	for _, f := range plan.Faults {
+		if math.Abs(f.Scale-1) > 1e-9 {
+			t.Fatalf("nominal VDD must not corrupt anything: %v", f)
+		}
+	}
+}
+
+func TestAttackIDMetadata(t *testing.T) {
+	if Attack5.WhiteBox() {
+		t.Fatal("Attack 5 is the black-box attack")
+	}
+	for _, a := range []AttackID{Attack1, Attack2, Attack3, Attack4} {
+		if !a.WhiteBox() {
+			t.Fatalf("%v should be white box", a)
+		}
+	}
+	if Attack3.String() != "attack-3" {
+		t.Fatalf("String = %q", Attack3.String())
+	}
+}
+
+func TestAffectedCountRounding(t *testing.T) {
+	cases := []struct {
+		n        int
+		fraction float64
+		want     int
+	}{
+		{100, 0, 0}, {100, 1, 100}, {100, 0.5, 50}, {100, 0.254, 25}, {3, 0.5, 2},
+	}
+	for _, c := range cases {
+		if got := AffectedCount(c.n, c.fraction); got != c.want {
+			t.Fatalf("AffectedCount(%d, %v) = %d, want %d", c.n, c.fraction, got, c.want)
+		}
+	}
+}
+
+func TestPlanValidateRejectsBadFault(t *testing.T) {
+	plan := &FaultPlan{Name: "bad", Faults: []FaultSpec{{Scale: -1, Fraction: 1}}}
+	if err := plan.Validate(); err == nil {
+		t.Fatal("negative scale must fail")
+	}
+	n := smallNet(t)
+	if _, err := plan.Apply(n); err == nil {
+		t.Fatal("Apply must reject invalid plans")
+	}
+}
+
+func testExperiment(t *testing.T, nImages int) *Experiment {
+	t.Helper()
+	cfg := snn.DefaultConfig()
+	cfg.NExc, cfg.NInh = 40, 40
+	cfg.Steps = 150
+	e, err := NewExperiment("", nImages, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestExperimentBaselineLearns(t *testing.T) {
+	e := testExperiment(t, 300)
+	base, err := e.Baseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base < 0.3 {
+		t.Fatalf("baseline accuracy %.3f too close to chance", base)
+	}
+	// Cached second call.
+	again, err := e.Baseline()
+	if err != nil || again != base {
+		t.Fatal("Baseline must be cached and stable")
+	}
+}
+
+func TestAttack3CollapsesAccuracy(t *testing.T) {
+	// The paper's headline: −20% inhibitory threshold at full coverage
+	// destroys learning (−84.52% in the paper).
+	e := testExperiment(t, 300)
+	res, err := e.Run(NewAttack3(0.8, 1.0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RelChangePc > -50 {
+		t.Fatalf("Attack 3 relative change %+.1f%%, want ≤ −50%%", res.RelChangePc)
+	}
+}
+
+func TestAttack1IsMild(t *testing.T) {
+	// Fig. 7b: theta corruption stays within a few percent of baseline.
+	e := testExperiment(t, 300)
+	for _, scale := range []float64{0.8, 1.2} {
+		res, err := e.Run(NewAttack1(scale))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.RelChangePc) > 15 {
+			t.Fatalf("Attack 1 at ×%v moved accuracy %+.1f%%, expected mild", scale, res.RelChangePc)
+		}
+	}
+}
+
+func TestInhibitoryWorseThanExcitatory(t *testing.T) {
+	// The paper's layer-sensitivity ordering (Figs. 8a vs 8b).
+	e := testExperiment(t, 300)
+	exc, err := e.Run(NewAttack2(0.8, 1.0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inh, err := e.Run(NewAttack3(0.8, 1.0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inh.RelChangePc >= exc.RelChangePc {
+		t.Fatalf("IL attack (%+.1f%%) should dominate EL attack (%+.1f%%)",
+			inh.RelChangePc, exc.RelChangePc)
+	}
+}
+
+func TestWorstCase(t *testing.T) {
+	pts := []SweepPoint{
+		{ScalePc: -10, Result: &Result{RelChangePc: -5}},
+		{ScalePc: -20, Result: &Result{RelChangePc: -80}},
+		{ScalePc: 10, Result: &Result{RelChangePc: 2}},
+	}
+	if w := WorstCase(pts); w.ScalePc != -20 {
+		t.Fatalf("WorstCase picked %+v", w)
+	}
+}
+
+func TestLayerGridRejectsDrivers(t *testing.T) {
+	e := testExperiment(t, 10)
+	if _, err := e.LayerGrid(Drivers, []float64{-10}, []float64{100}); err == nil {
+		t.Fatal("LayerGrid must reject the driver pseudo-layer")
+	}
+}
+
+// Property: Apply followed by revert leaves the fault hooks exactly
+// nominal for arbitrary valid plans.
+func TestApplyRevertRoundTripProperty(t *testing.T) {
+	f := func(scaleRaw, fracRaw float64, seed int64) bool {
+		scale := 0.5 + math.Mod(math.Abs(scaleRaw), 1.0)
+		frac := math.Mod(math.Abs(fracRaw), 1.0)
+		cfg := snn.DefaultConfig()
+		cfg.NExc, cfg.NInh = 10, 10
+		cfg.Steps = 10
+		n, err := snn.NewDiehlCook(cfg)
+		if err != nil {
+			return false
+		}
+		plan := &FaultPlan{Name: "prop", Faults: []FaultSpec{
+			{Layer: Excitatory, Scale: scale, Fraction: frac, Seed: seed},
+			{Layer: Inhibitory, Scale: scale, Fraction: 1 - frac, Seed: seed + 1},
+			{Layer: Drivers, Scale: scale, Fraction: frac, Seed: seed + 2},
+		}}
+		revert, err := plan.Apply(n)
+		if err != nil {
+			return false
+		}
+		revert()
+		for i := range n.Exc.ThreshScale {
+			if n.Exc.ThreshScale[i] != 1 || n.Inh.ThreshScale[i] != 1 || n.Exc.InputGain[i] != 1 {
+				return false
+			}
+		}
+		return n.InputDriveScale == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

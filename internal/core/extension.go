@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"snnfi/internal/encoding"
+	"snnfi/internal/snn"
+	"snnfi/internal/tensor"
+)
+
+// This file implements extension experiments beyond the paper's five
+// attacks, targeting the two SNN assets §IV-E1 lists but does not
+// study: the strength of synaptic weights between neurons and the SNN
+// learning rate. Both are plausible power-fault targets in memristive
+// or charge-based synapse implementations, where the stored conductance
+// and the programming pulse energy track the supply.
+
+// WeightFaultSpec corrupts the learned input→excitatory synaptic
+// weights: a fraction of synapses is scaled (conductance drift under
+// supply droop) at a given cadence during training.
+type WeightFaultSpec struct {
+	// Scale multiplies affected weights (e.g. 0.7 for a −30% drift).
+	Scale float64
+	// Fraction of synapses affected, in [0, 1].
+	Fraction float64
+	// EveryNImages re-applies the drift each N presentations,
+	// modeling a persistent glitch rather than a one-shot upset.
+	// 0 applies it once, before training.
+	EveryNImages int
+	Seed         int64
+}
+
+// Validate reports specification errors.
+func (s WeightFaultSpec) Validate() error {
+	if s.Scale <= 0 {
+		return fmt.Errorf("core: weight-fault scale must be positive, got %g", s.Scale)
+	}
+	if s.Fraction < 0 || s.Fraction > 1 {
+		return fmt.Errorf("core: weight-fault fraction must be in [0,1], got %g", s.Fraction)
+	}
+	if s.EveryNImages < 0 {
+		return fmt.Errorf("core: weight-fault cadence must be ≥0, got %d", s.EveryNImages)
+	}
+	return nil
+}
+
+// apply scales a random subset of the weight matrix in place.
+func (s WeightFaultSpec) apply(n *snn.DiehlCook, rng *rand.Rand) {
+	total := len(n.W.Data)
+	k := int(s.Fraction*float64(total) + 0.5)
+	if k <= 0 {
+		return
+	}
+	if k >= total {
+		for i := range n.W.Data {
+			n.W.Data[i] *= s.Scale
+		}
+		return
+	}
+	for i := 0; i < k; i++ {
+		n.W.Data[rng.Intn(total)] *= s.Scale
+	}
+}
+
+// RunWeightFault trains a fresh network while injecting the weight
+// fault and returns the result relative to the experiment baseline.
+func (e *Experiment) RunWeightFault(spec WeightFaultSpec) (*Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	n, err := snn.NewDiehlCook(e.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	enc := encoding.NewPoissonEncoder(e.EncSeed)
+
+	spec.apply(n, rng)
+	perImage := make([]tensor.Vector, 0, len(e.Images))
+	labels := make([]uint8, 0, len(e.Images))
+	total := 0.0
+	for i := range e.Images {
+		if spec.EveryNImages > 0 && i > 0 && i%spec.EveryNImages == 0 {
+			spec.apply(n, rng)
+		}
+		train := enc.Encode(&e.Images[i], e.Cfg.Steps)
+		counts := n.RunImage(train, true)
+		total += counts.Sum()
+		perImage = append(perImage, counts)
+		labels = append(labels, e.Images[i].Label)
+	}
+	assignments := snn.AssignLabels(perImage, labels, e.Cfg.NExc)
+	correct := 0
+	for i := range perImage {
+		if snn.Classify(perImage[i], assignments) == int(labels[i]) {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(len(perImage))
+
+	base, err := e.Baseline()
+	if err != nil {
+		return nil, err
+	}
+	r := &Result{
+		Plan:     &FaultPlan{Name: fmt.Sprintf("ext-weight-fault-%.2fx-%.0f%%", spec.Scale, 100*spec.Fraction)},
+		Accuracy: acc, Baseline: base, TotalSpikes: total,
+	}
+	if base > 0 {
+		r.RelChangePc = 100 * (acc - base) / base
+	}
+	return r, nil
+}
+
+// LearningRateFaultSpec corrupts the STDP learning rates — the
+// network-level image of a supply fault in the weight-programming
+// peripheral (programming pulse energy scales with VDD).
+type LearningRateFaultSpec struct {
+	// Scale multiplies both STDP rates (0 freezes learning entirely).
+	Scale float64
+}
+
+// Validate reports specification errors.
+func (s LearningRateFaultSpec) Validate() error {
+	if s.Scale < 0 {
+		return fmt.Errorf("core: learning-rate scale must be ≥0, got %g", s.Scale)
+	}
+	return nil
+}
+
+// RunLearningRateFault trains with scaled STDP rates.
+func (e *Experiment) RunLearningRateFault(spec LearningRateFaultSpec) (*Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	cfg := e.Cfg
+	cfg.NuPre *= spec.Scale
+	cfg.NuPost *= spec.Scale
+	n, err := snn.NewDiehlCook(cfg)
+	if err != nil {
+		return nil, err
+	}
+	enc := encoding.NewPoissonEncoder(e.EncSeed)
+	res, err := snn.Train(n, e.Images, enc)
+	if err != nil {
+		return nil, err
+	}
+	base, err := e.Baseline()
+	if err != nil {
+		return nil, err
+	}
+	r := &Result{
+		Plan:     &FaultPlan{Name: fmt.Sprintf("ext-learning-rate-%.2fx", spec.Scale)},
+		Accuracy: res.Accuracy, Baseline: base, TotalSpikes: res.TotalSpikes,
+	}
+	if base > 0 {
+		r.RelChangePc = 100 * (res.Accuracy - base) / base
+	}
+	return r, nil
+}

@@ -1,0 +1,161 @@
+// Package core implements the paper's contribution: the five
+// power-oriented fault-injection attacks on spiking neural networks,
+// expressed as parameter-corruption plans applied to a Diehl&Cook
+// network, plus the campaign runner that reproduces the paper's
+// accuracy-degradation sweeps (Figs. 7b, 8a, 8b, 8c, 9a).
+//
+// Threat model (paper §I): an adversary with control of the external
+// supply (black box, Attack 5) or with laser-localized glitching
+// capability (white box, Attacks 1–4) corrupts the input-driver spike
+// amplitude and/or the neuron membrane thresholds. The circuit-level
+// transfer from VDD to those parameters comes from internal/xfer
+// (anchored on the paper's HSPICE characterization) and is reproduced
+// independently by internal/neuron.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"snnfi/internal/snn"
+)
+
+// Layer identifies a fault target within the Diehl&Cook network.
+type Layer int
+
+// Attackable layers.
+const (
+	// Drivers are the input current drivers (theta / membrane charge
+	// per input spike).
+	Drivers Layer = iota
+	// Excitatory is the excitatory neuron layer (EL).
+	Excitatory
+	// Inhibitory is the inhibitory neuron layer (IL).
+	Inhibitory
+)
+
+func (l Layer) String() string {
+	switch l {
+	case Drivers:
+		return "drivers"
+	case Excitatory:
+		return "excitatory"
+	case Inhibitory:
+		return "inhibitory"
+	default:
+		return fmt.Sprintf("layer(%d)", int(l))
+	}
+}
+
+// FaultSpec describes one parameter corruption: which layer, what
+// multiplicative scale, and what fraction of the layer's neurons are
+// affected (the paper's model of laser-glitch locality — a fraction of
+// a layer's physically interleaved neurons sits inside the glitched
+// region).
+type FaultSpec struct {
+	Layer Layer
+	// Scale multiplies the target parameter. For Excitatory/Inhibitory
+	// it scales the membrane threshold value (paper convention: a "−20%
+	// threshold change" is Scale = 0.8); for Drivers it scales the
+	// membrane charge delivered per input spike.
+	Scale float64
+	// Fraction of the layer's neurons affected, in [0, 1]. The affected
+	// subset is sampled uniformly with Seed.
+	Fraction float64
+	Seed     int64
+}
+
+// Validate reports specification errors.
+func (f FaultSpec) Validate() error {
+	if f.Scale <= 0 {
+		return fmt.Errorf("core: fault scale must be positive, got %g", f.Scale)
+	}
+	if f.Fraction < 0 || f.Fraction > 1 {
+		return fmt.Errorf("core: fault fraction must be in [0,1], got %g", f.Fraction)
+	}
+	return nil
+}
+
+// FaultPlan is a set of corruptions applied together — one attack
+// configuration. Plans are applied to a network before training and can
+// be reverted, so defended and undefended models can replay identical
+// plans.
+type FaultPlan struct {
+	Name   string
+	Faults []FaultSpec
+}
+
+// Validate reports the first invalid fault in the plan.
+func (p *FaultPlan) Validate() error {
+	for i, f := range p.Faults {
+		if err := f.Validate(); err != nil {
+			return fmt.Errorf("fault %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Apply installs the plan's corruptions on a network. The network must
+// be in the nominal state (fresh or reverted); Apply returns a revert
+// function restoring nominal parameters.
+func (p *FaultPlan) Apply(n *snn.DiehlCook) (revert func(), err error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("core: plan %q: %w", p.Name, err)
+	}
+	savedExc := n.Exc.ThreshScale.Copy()
+	savedInh := n.Inh.ThreshScale.Copy()
+	savedGain := n.Exc.InputGain.Copy()
+	savedDrive := n.InputDriveScale
+
+	for _, f := range p.Faults {
+		switch f.Layer {
+		case Drivers:
+			applyMasked(n.Exc.InputGain, f, func(cur float64) float64 { return cur * f.Scale })
+		case Excitatory:
+			applyMasked(n.Exc.ThreshScale, f, func(cur float64) float64 { return cur * f.Scale })
+		case Inhibitory:
+			applyMasked(n.Inh.ThreshScale, f, func(cur float64) float64 { return cur * f.Scale })
+		default:
+			return nil, fmt.Errorf("core: plan %q: unknown layer %v", p.Name, f.Layer)
+		}
+	}
+	return func() {
+		copy(n.Exc.ThreshScale, savedExc)
+		copy(n.Inh.ThreshScale, savedInh)
+		copy(n.Exc.InputGain, savedGain)
+		n.InputDriveScale = savedDrive
+	}, nil
+}
+
+// applyMasked scales a random Fraction of the vector's entries.
+func applyMasked(v []float64, f FaultSpec, apply func(float64) float64) {
+	n := len(v)
+	k := int(f.Fraction*float64(n) + 0.5)
+	if k <= 0 {
+		return
+	}
+	if k >= n {
+		for i := range v {
+			v[i] = apply(v[i])
+		}
+		return
+	}
+	rng := rand.New(rand.NewSource(f.Seed))
+	perm := rng.Perm(n)
+	for _, i := range perm[:k] {
+		v[i] = apply(v[i])
+	}
+}
+
+// AffectedCount returns how many of n neurons a fraction covers (the
+// same rounding Apply uses).
+func AffectedCount(n int, fraction float64) int {
+	k := int(fraction*float64(n) + 0.5)
+	if k < 0 {
+		k = 0
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}

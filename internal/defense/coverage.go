@@ -1,0 +1,61 @@
+package defense
+
+import (
+	"fmt"
+
+	"snnfi/internal/core"
+)
+
+// CoverageRow relates, for one supply excursion, the damage the
+// black-box attack does to the classifier and whether the dummy-neuron
+// detector would have flagged the glitch — the system-level question
+// §V-C leaves implicit: does the detector cover every configuration
+// that actually hurts?
+type CoverageRow struct {
+	VDD         float64
+	RelChangePc float64
+	Verdict     Verdict
+}
+
+// Covered reports whether the row is safe: either the attack is
+// harmless (relative change above damageThresholdPc) or the detector
+// fires.
+func (r CoverageRow) Covered(damageThresholdPc float64) bool {
+	return r.RelChangePc >= damageThresholdPc || r.Verdict.Detected
+}
+
+func (r CoverageRow) String() string {
+	return fmt.Sprintf("vdd=%.2f accuracy %+7.2f%% | %s", r.VDD, r.RelChangePc, r.Verdict)
+}
+
+// DetectionCoverage runs the black-box attack (Attack 5) across a VDD
+// sweep and checks each point against the detector. It returns one row
+// per supply point.
+func DetectionCoverage(e *core.Experiment, det DetectorConfig, vdds []float64) ([]CoverageRow, error) {
+	rows := make([]CoverageRow, 0, len(vdds))
+	for _, vdd := range vdds {
+		res, err := e.Run(core.NewAttack5(vdd, det.Kind))
+		if err != nil {
+			return nil, fmt.Errorf("defense: coverage at VDD=%.2f: %w", vdd, err)
+		}
+		rows = append(rows, CoverageRow{
+			VDD:         vdd,
+			RelChangePc: res.RelChangePc,
+			Verdict:     det.Check(vdd),
+		})
+	}
+	return rows, nil
+}
+
+// UncoveredDamage returns the rows where the attack degrades accuracy
+// beyond the damage threshold yet the detector stays silent — the
+// detector's blind spots.
+func UncoveredDamage(rows []CoverageRow, damageThresholdPc float64) []CoverageRow {
+	var out []CoverageRow
+	for _, r := range rows {
+		if !r.Covered(damageThresholdPc) {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package defense
+
+import (
+	"testing"
+
+	"snnfi/internal/core"
+	"snnfi/internal/snn"
+	"snnfi/internal/xfer"
+)
+
+func coverageExperiment(t *testing.T) *core.Experiment {
+	t.Helper()
+	cfg := snn.DefaultConfig()
+	cfg.NExc, cfg.NInh = 40, 40
+	cfg.Steps = 150
+	e, err := core.NewExperiment("", 300, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestDetectionCoverageNoBlindSpots(t *testing.T) {
+	// The system-level defense claim: every VDD excursion that damages
+	// the classifier is flagged by the dummy-neuron detector.
+	e := coverageExperiment(t)
+	det := NewDetector(xfer.IAF)
+	rows, err := DetectionCoverage(e, det, []float64{0.8, 1.0, 1.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	blind := UncoveredDamage(rows, -10)
+	if len(blind) != 0 {
+		t.Fatalf("detector blind spots: %v", blind)
+	}
+	// The 0.8 V point must be both damaging and detected.
+	if rows[0].RelChangePc > -50 {
+		t.Fatalf("VDD=0.8 should be damaging, got %+.1f%%", rows[0].RelChangePc)
+	}
+	if !rows[0].Verdict.Detected {
+		t.Fatal("VDD=0.8 must be detected")
+	}
+	// Nominal point: harmless and quiet.
+	if rows[1].Verdict.Detected {
+		t.Fatal("nominal supply must not trigger the detector")
+	}
+}
+
+func TestCoverageRowSemantics(t *testing.T) {
+	harmlessQuiet := CoverageRow{RelChangePc: -1}
+	if !harmlessQuiet.Covered(-10) {
+		t.Fatal("harmless + quiet is covered")
+	}
+	damagingQuiet := CoverageRow{RelChangePc: -50}
+	if damagingQuiet.Covered(-10) {
+		t.Fatal("damaging + quiet is a blind spot")
+	}
+	damagingFlagged := CoverageRow{RelChangePc: -50, Verdict: Verdict{Detected: true}}
+	if !damagingFlagged.Covered(-10) {
+		t.Fatal("damaging + flagged is covered")
+	}
+	if damagingQuiet.String() == "" {
+		t.Fatal("empty row rendering")
+	}
+}
+
+func TestUncoveredDamageFilters(t *testing.T) {
+	rows := []CoverageRow{
+		{VDD: 0.8, RelChangePc: -80},
+		{VDD: 0.9, RelChangePc: -80, Verdict: Verdict{Detected: true}},
+		{VDD: 1.0, RelChangePc: 0},
+	}
+	blind := UncoveredDamage(rows, -10)
+	if len(blind) != 1 || blind[0].VDD != 0.8 {
+		t.Fatalf("blind spots = %v", blind)
+	}
+}

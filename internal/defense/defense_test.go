@@ -1,0 +1,170 @@
+package defense
+
+import (
+	"math"
+	"testing"
+
+	"snnfi/internal/core"
+	"snnfi/internal/xfer"
+)
+
+func attack5Plan() *core.FaultPlan { return core.NewAttack5(0.8, xfer.IAF) }
+
+func findFault(p *core.FaultPlan, layer core.Layer) (core.FaultSpec, bool) {
+	for _, f := range p.Faults {
+		if f.Layer == layer {
+			return f, true
+		}
+	}
+	return core.FaultSpec{}, false
+}
+
+func TestRobustDriverNeutralizesDriverFault(t *testing.T) {
+	plan := attack5Plan()
+	hardened := RobustDriver{ResidualPc: 0.1}.Harden(plan)
+	f, ok := findFault(hardened, core.Drivers)
+	if !ok {
+		t.Fatal("driver fault missing from hardened plan")
+	}
+	if math.Abs(f.Scale-0.999) > 1e-9 {
+		t.Fatalf("hardened driver scale = %v, want 0.999", f.Scale)
+	}
+	// Threshold faults untouched.
+	thr, _ := findFault(hardened, core.Inhibitory)
+	orig, _ := findFault(plan, core.Inhibitory)
+	if thr.Scale != orig.Scale {
+		t.Fatal("robust driver must not alter threshold faults")
+	}
+}
+
+func TestHardenDoesNotMutateOriginal(t *testing.T) {
+	plan := attack5Plan()
+	before := make([]core.FaultSpec, len(plan.Faults))
+	copy(before, plan.Faults)
+	BandgapThreshold{Kind: xfer.IAF}.Harden(plan)
+	for i := range before {
+		if plan.Faults[i] != before[i] {
+			t.Fatal("Harden mutated the input plan")
+		}
+	}
+}
+
+func TestBandgapCollapsesThresholdFault(t *testing.T) {
+	plan := attack5Plan()
+	hardened := BandgapThreshold{Kind: xfer.IAF}.Harden(plan)
+	for _, layer := range []core.Layer{core.Excitatory, core.Inhibitory} {
+		f, ok := findFault(hardened, layer)
+		if !ok {
+			t.Fatalf("%v fault missing", layer)
+		}
+		if dev := math.Abs(f.Scale - 1); dev > 0.01 {
+			t.Fatalf("%v residual %v, want ≤1%% (bandgap ±0.56%%)", layer, dev)
+		}
+	}
+	// Driver fault untouched by the threshold defense.
+	d, _ := findFault(hardened, core.Drivers)
+	if math.Abs(d.Scale-0.68) > 1e-9 {
+		t.Fatal("bandgap must not alter driver faults")
+	}
+}
+
+func TestSizingAttenuatesThresholdFault(t *testing.T) {
+	plan := core.NewAttack4(xfer.ThresholdRatio(xfer.AxonHillock).At(0.8))
+	hardened := Sizing{WLMultiple: 32}.Harden(plan)
+	f, _ := findFault(hardened, core.Inhibitory)
+	// Fig. 9c: ×32 leaves −5.23% at 0.8 V versus −17.91% undefended.
+	if math.Abs(f.Scale-(1-0.0523)) > 1e-6 {
+		t.Fatalf("hardened scale = %v, want 0.9477", f.Scale)
+	}
+	weaker := Sizing{WLMultiple: 2}.Harden(plan)
+	f2, _ := findFault(weaker, core.Inhibitory)
+	if math.Abs(f2.Scale-1) <= math.Abs(f.Scale-1) {
+		t.Fatal("smaller upsizing must leave a larger residual")
+	}
+}
+
+func TestComparatorNeuronLikeBandgap(t *testing.T) {
+	plan := core.NewAttack4(xfer.ThresholdRatio(xfer.AxonHillock).At(0.8))
+	hardened := ComparatorNeuron{}.Harden(plan)
+	f, _ := findFault(hardened, core.Excitatory)
+	if dev := math.Abs(f.Scale - 1); dev > 0.01 {
+		t.Fatalf("comparator residual %v, want ≤1%%", dev)
+	}
+}
+
+func TestDefenseNames(t *testing.T) {
+	names := map[string]Defense{
+		"robust-current-driver":       RobustDriver{},
+		"bandgap-threshold-reference": BandgapThreshold{},
+		"transistor-sizing-32x":       Sizing{WLMultiple: 32},
+		"comparator-neuron":           ComparatorNeuron{},
+	}
+	for want, d := range names {
+		if d.Name() != want {
+			t.Fatalf("Name() = %q, want %q", d.Name(), want)
+		}
+	}
+}
+
+func TestDetectorNominalQuiet(t *testing.T) {
+	for _, kind := range []xfer.NeuronKind{xfer.AxonHillock, xfer.IAF} {
+		det := NewDetector(kind)
+		v := det.Check(1.0)
+		if v.Detected {
+			t.Fatalf("%v: nominal supply must not trigger: %v", kind, v)
+		}
+		if v.DeviationPc != 0 {
+			t.Fatalf("%v: nominal deviation = %v", kind, v.DeviationPc)
+		}
+	}
+}
+
+func TestDetectorFlagsLargeGlitches(t *testing.T) {
+	for _, kind := range []xfer.NeuronKind{xfer.AxonHillock, xfer.IAF} {
+		det := NewDetector(kind)
+		for _, vdd := range []float64{0.8, 1.2} {
+			if v := det.Check(vdd); !v.Detected {
+				t.Fatalf("%v: ±20%% glitch must be detected: %v", kind, v)
+			}
+		}
+	}
+}
+
+func TestDetectorCountDirection(t *testing.T) {
+	// Lower VDD → lower threshold → faster firing → more spikes.
+	det := NewDetector(xfer.AxonHillock)
+	low := det.ExpectedCount(0.8)
+	nom := det.ExpectedCount(1.0)
+	high := det.ExpectedCount(1.2)
+	if !(low > nom && nom > high) {
+		t.Fatalf("count ordering wrong: %d / %d / %d", low, nom, high)
+	}
+}
+
+func TestDetectionSweepShape(t *testing.T) {
+	det := NewDetector(xfer.IAF)
+	sweep := det.DetectionSweep([]float64{0.8, 1.0, 1.2})
+	if len(sweep) != 3 {
+		t.Fatalf("sweep length %d", len(sweep))
+	}
+	if !sweep[0].Detected || sweep[1].Detected || !sweep[2].Detected {
+		t.Fatalf("sweep verdicts wrong: %v", sweep)
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	det := NewDetector(xfer.AxonHillock)
+	s := det.Check(0.8).String()
+	if s == "" || !contains(s, "ATTACK DETECTED") {
+		t.Fatalf("verdict string = %q", s)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,73 @@
+// Package encoding converts images into spike trains. The attack
+// experiments use BindsNET-compatible Poisson rate coding: each pixel
+// becomes an independent Bernoulli spike process whose rate is
+// proportional to intensity.
+package encoding
+
+import (
+	"math/rand"
+
+	"snnfi/internal/mnist"
+)
+
+// PoissonEncoder converts pixel intensities into Bernoulli spike
+// probabilities per timestep: p = (pixel/255)·MaxRate·Dt, with MaxRate
+// in Hz and Dt in milliseconds (BindsNET's convention with
+// intensity=128).
+type PoissonEncoder struct {
+	MaxRate float64 // peak firing rate for a saturated pixel (Hz)
+	Dt      float64 // timestep (ms)
+	rng     *rand.Rand
+}
+
+// NewPoissonEncoder returns an encoder with the experiment defaults
+// (128 Hz peak rate, 1 ms steps) and a deterministic stream.
+func NewPoissonEncoder(seed int64) *PoissonEncoder {
+	return &PoissonEncoder{MaxRate: 128, Dt: 1, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Reseed resets the encoder's random stream, making spike trains
+// reproducible across runs over the same images.
+func (e *PoissonEncoder) Reseed(seed int64) {
+	e.rng = rand.New(rand.NewSource(seed))
+}
+
+// Probabilities returns the per-step spike probability of every pixel.
+func (e *PoissonEncoder) Probabilities(img *mnist.Image) []float64 {
+	p := make([]float64, len(img.Pixels))
+	scale := e.MaxRate * e.Dt / 1000 / 255
+	for i, px := range img.Pixels {
+		p[i] = float64(px) * scale
+	}
+	return p
+}
+
+// Encode produces a spike train of the given number of steps: for each
+// step, the indices of pixels that spiked. The sparse representation is
+// what the network's propagation kernel consumes directly.
+func (e *PoissonEncoder) Encode(img *mnist.Image, steps int) [][]int {
+	probs := e.Probabilities(img)
+	train := make([][]int, steps)
+	for t := 0; t < steps; t++ {
+		var active []int
+		for i, p := range probs {
+			if p > 0 && e.rng.Float64() < p {
+				active = append(active, i)
+			}
+		}
+		train[t] = active
+	}
+	return train
+}
+
+// CountSpikes returns the total spike count per pixel over a train,
+// useful for verifying rate proportionality.
+func CountSpikes(train [][]int, n int) []int {
+	counts := make([]int, n)
+	for _, step := range train {
+		for _, i := range step {
+			counts[i]++
+		}
+	}
+	return counts
+}

@@ -1,0 +1,117 @@
+package encoding
+
+import (
+	"math"
+	"testing"
+
+	"snnfi/internal/mnist"
+)
+
+func testImage() *mnist.Image {
+	var img mnist.Image
+	for i := range img.Pixels {
+		switch {
+		case i < 100:
+			img.Pixels[i] = 255
+		case i < 200:
+			img.Pixels[i] = 128
+		default:
+			img.Pixels[i] = 0
+		}
+	}
+	return &img
+}
+
+func TestProbabilitiesScale(t *testing.T) {
+	enc := NewPoissonEncoder(1)
+	p := enc.Probabilities(testImage())
+	want := 128.0 / 1000 // saturated pixel at 128 Hz, 1 ms steps
+	if math.Abs(p[0]-want) > 1e-12 {
+		t.Fatalf("saturated pixel p = %v, want %v", p[0], want)
+	}
+	if math.Abs(p[150]-want*128/255) > 1e-12 {
+		t.Fatalf("half pixel p = %v", p[150])
+	}
+	if p[300] != 0 {
+		t.Fatalf("dark pixel p = %v, want 0", p[300])
+	}
+}
+
+func TestEncodeRateProportionality(t *testing.T) {
+	enc := NewPoissonEncoder(7)
+	img := testImage()
+	const steps = 4000
+	train := enc.Encode(img, steps)
+	counts := CountSpikes(train, len(img.Pixels))
+
+	brightRate := avg(counts[:100])
+	halfRate := avg(counts[100:200])
+	darkRate := avg(counts[200:])
+	if darkRate != 0 {
+		t.Fatalf("dark pixels spiked: %v", darkRate)
+	}
+	wantBright := 0.128 * steps
+	if math.Abs(brightRate-wantBright)/wantBright > 0.1 {
+		t.Fatalf("bright rate %v, want ≈%v", brightRate, wantBright)
+	}
+	ratio := brightRate / halfRate
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Fatalf("bright/half ratio %v, want ≈255/128", ratio)
+	}
+}
+
+func TestEncodeDeterministicWithSeed(t *testing.T) {
+	img := testImage()
+	a := NewPoissonEncoder(5).Encode(img, 50)
+	b := NewPoissonEncoder(5).Encode(img, 50)
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatalf("step %d lengths differ", i)
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("step %d spike %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestReseedRestoresStream(t *testing.T) {
+	img := testImage()
+	enc := NewPoissonEncoder(9)
+	first := enc.Encode(img, 20)
+	enc.Reseed(9)
+	second := enc.Encode(img, 20)
+	for i := range first {
+		if len(first[i]) != len(second[i]) {
+			t.Fatal("reseeded stream diverged")
+		}
+	}
+}
+
+func TestEncodeStepsCount(t *testing.T) {
+	enc := NewPoissonEncoder(3)
+	train := enc.Encode(testImage(), 37)
+	if len(train) != 37 {
+		t.Fatalf("got %d steps", len(train))
+	}
+}
+
+func TestCountSpikesIndices(t *testing.T) {
+	train := [][]int{{1, 2}, {2}, {}}
+	counts := CountSpikes(train, 4)
+	want := []int{0, 1, 2, 0}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("counts = %v", counts)
+		}
+	}
+}
+
+func avg(xs []int) float64 {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return float64(s) / float64(len(xs))
+}

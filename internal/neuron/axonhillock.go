@@ -1,0 +1,149 @@
+// Package neuron builds the paper's analog circuits on top of the spice
+// substrate and extracts the quantities the attack analysis needs:
+// membrane thresholds, output time-to-spike, driver spike amplitudes,
+// and dummy-neuron spike counts, all as functions of the supply voltage
+// VDD (the adversary's knob).
+//
+// Circuit topologies follow Fig. 2a (Axon Hillock), Fig. 2b (voltage
+// amplifier I&F), Fig. 5a (current-mirror driver), Fig. 9b (robust
+// driver), Fig. 10a (comparator neuron) and Fig. 10b (dummy neuron) of
+// the paper. Component values are the paper's where given (Cmem/Cfb =
+// 1 pF for AH, Cmem = 10 pF and Ck = 20 pF for I&F, 200 nA / 25 ns
+// input spikes, VDD = 1 V nominal).
+package neuron
+
+import (
+	"fmt"
+
+	"snnfi/internal/spice"
+)
+
+// AxonHillock parametrizes the Axon Hillock neuron circuit (Fig. 2a):
+// a membrane capacitor integrating the input current, a two-inverter
+// amplifier, capacitive positive feedback, and a gated reset path.
+type AxonHillock struct {
+	VDD float64 // supply voltage (V), nominal 1.0
+
+	CMem float64 // membrane capacitance (F), paper: 1 pF
+	CFb  float64 // feedback capacitance (F), paper: 1 pF
+
+	// Input current spike train (paper: 200 nA, 25 ns width, 40 MHz).
+	IAmp        float64
+	SpikeWidth  float64
+	SpikePeriod float64
+
+	VPw float64 // reset-current control gate voltage (V)
+
+	// First-inverter geometry. WP1/LP1 is the paper's defense knob
+	// (Fig. 9c sweeps the MP1 W/L ratio).
+	WP1, LP1 float64
+	WN3, LN3 float64
+
+	// Second-inverter geometry.
+	WP2, LP2 float64
+	WN4, LN4 float64
+
+	// Reset transistor geometry (MN1 gate driven by Vout, MN2 by VPw).
+	WN1, LN1 float64
+	WN2, LN2 float64
+}
+
+// NewAxonHillock returns the paper's nominal Axon Hillock configuration.
+func NewAxonHillock() *AxonHillock {
+	return &AxonHillock{
+		VDD:         1.0,
+		CMem:        1e-12,
+		CFb:         1e-12,
+		IAmp:        200e-9,
+		SpikeWidth:  25e-9,
+		SpikePeriod: 25e-9,
+		VPw:         0.42,
+		WP1:         2e-6, LP1: 100e-9,
+		WN3: 1e-6, LN3: 100e-9,
+		WP2: 2e-6, LP2: 100e-9,
+		WN4: 1e-6, LN4: 100e-9,
+		WN1: 2e-6, LN1: 100e-9,
+		WN2: 1e-6, LN2: 200e-9,
+	}
+}
+
+// Build constructs the netlist. Node names: "vmem" (membrane), "n1"
+// (first inverter output), "vout" (spike output), "r" (reset path).
+func (a *AxonHillock) Build() *spice.Circuit {
+	c := spice.New()
+	c.V("VDD", "vdd", "0", spice.DC(a.VDD))
+	c.V("VPW", "vpw", "0", spice.DC(a.VPw))
+	c.I("IIN", "0", "vmem", spice.SpikeTrain{
+		Amp: a.IAmp, Width: a.SpikeWidth, Period: a.SpikePeriod,
+	})
+	c.C("CMEM", "vmem", "0", a.CMem)
+	c.C("CFB", "vout", "vmem", a.CFb)
+
+	// Amplifier: two inverters in series.
+	c.PMOSDev("MP1", "n1", "vmem", "vdd", a.WP1, a.LP1, spice.PMOS65())
+	c.NMOSDev("MN3", "n1", "vmem", "0", a.WN3, a.LN3, spice.NMOS65())
+	c.PMOSDev("MP2", "vout", "n1", "vdd", a.WP2, a.LP2, spice.PMOS65())
+	c.NMOSDev("MN4", "vout", "n1", "0", a.WN4, a.LN4, spice.NMOS65())
+
+	// Reset path: MN1 gated by the output, MN2 limits the reset current.
+	c.NMOSDev("MN1", "vmem", "vout", "r", a.WN1, a.LN1, spice.NMOS65())
+	c.NMOSDev("MN2", "r", "vpw", "0", a.WN2, a.LN2, spice.NMOS65())
+
+	// Parasitic node capacitances (gate + junction, ~fF scale) keep the
+	// regenerative switching transition numerically continuous.
+	c.C("CPN1", "n1", "0", 5e-15)
+	c.C("CPR", "r", "0", 2e-15)
+	return c
+}
+
+// Simulate runs a transient from a discharged membrane.
+func (a *AxonHillock) Simulate(stop, dt float64) (*spice.TranResult, error) {
+	c := a.Build()
+	return c.Tran(spice.TranOptions{Dt: dt, Stop: stop, UIC: true})
+}
+
+// TimeToSpike returns the time of the first output spike (first rising
+// crossing of VDD/2 on vout).
+func (a *AxonHillock) TimeToSpike(stop, dt float64) (float64, error) {
+	res, err := a.Simulate(stop, dt)
+	if err != nil {
+		return 0, err
+	}
+	return spice.FirstCrossing(res.Time, res.V("vout"), a.VDD/2, true)
+}
+
+// SpikePeriodOut returns the steady-state firing period of the output.
+func (a *AxonHillock) SpikePeriodOut(stop, dt float64) (float64, error) {
+	res, err := a.Simulate(stop, dt)
+	if err != nil {
+		return 0, err
+	}
+	return spice.SpikePeriod(res.Time, res.V("vout"), a.VDD/2)
+}
+
+// Threshold measures the membrane threshold: the switching point of the
+// first inverter, found by a DC transfer sweep of an isolated inverter
+// with the same devices and supply (the membrane voltage at which the
+// amplifier flips, per §III-C of the paper).
+func (a *AxonHillock) Threshold() (float64, error) {
+	c := spice.New()
+	c.V("VDD", "vdd", "0", spice.DC(a.VDD))
+	c.V("VIN", "in", "0", spice.DC(0))
+	c.PMOSDev("MP1", "out", "in", "vdd", a.WP1, a.LP1, spice.PMOS65())
+	c.NMOSDev("MN3", "out", "in", "0", a.WN3, a.LN3, spice.NMOS65())
+	var sweep []float64
+	for v := 0.0; v <= a.VDD+1e-9; v += a.VDD / 400 {
+		sweep = append(sweep, v)
+	}
+	res, err := c.DCSweep("VIN", sweep)
+	if err != nil {
+		return 0, fmt.Errorf("neuron: AH threshold sweep: %w", err)
+	}
+	vout := res.V("out")
+	for i := range sweep {
+		if vout[i] <= sweep[i] {
+			return sweep[i], nil
+		}
+	}
+	return 0, fmt.Errorf("neuron: AH inverter never switched below VDD=%.3g", a.VDD)
+}

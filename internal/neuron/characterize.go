@@ -1,0 +1,156 @@
+package neuron
+
+import "fmt"
+
+// Point is one characterization sample: an independent value (VDD,
+// amplitude, W/L, ...) and the measured dependent value.
+type Point struct {
+	X, Y float64
+}
+
+// PercentChange returns 100·(y−yRef)/yRef.
+func PercentChange(y, yRef float64) float64 { return 100 * (y - yRef) / yRef }
+
+// AHThresholdVsVDD sweeps the Axon Hillock membrane threshold (first
+// inverter switching point) against VDD. This regenerates the AH series
+// of Fig. 6a.
+func AHThresholdVsVDD(vdds []float64) ([]Point, error) {
+	out := make([]Point, 0, len(vdds))
+	for _, v := range vdds {
+		n := NewAxonHillock()
+		n.VDD = v
+		thr, err := n.Threshold()
+		if err != nil {
+			return nil, fmt.Errorf("neuron: AH threshold at VDD=%.2f: %w", v, err)
+		}
+		out = append(out, Point{X: v, Y: thr})
+	}
+	return out, nil
+}
+
+// AHThresholdVsSizing sweeps the AH threshold against the MP1 W/L
+// multiple at a fixed VDD. Ratio r multiplies the nominal MP1 width.
+// This regenerates Fig. 9c.
+func AHThresholdVsSizing(vdd float64, ratios []float64) ([]Point, error) {
+	out := make([]Point, 0, len(ratios))
+	for _, r := range ratios {
+		n := NewAxonHillock()
+		n.VDD = vdd
+		n.WP1 = r * 2e-6
+		thr, err := n.Threshold()
+		if err != nil {
+			return nil, fmt.Errorf("neuron: AH threshold at W/L×%.0f: %w", r, err)
+		}
+		out = append(out, Point{X: r, Y: thr})
+	}
+	return out, nil
+}
+
+// IAFThresholdVsVDD sweeps the I&F threshold reference against VDD
+// (the I&F series of Fig. 6a). The threshold is the resistive-divider
+// reference actually presented to the amplifier.
+func IAFThresholdVsVDD(vdds []float64) []Point {
+	out := make([]Point, 0, len(vdds))
+	for _, v := range vdds {
+		n := NewIAF()
+		n.VDD = v
+		out = append(out, Point{X: v, Y: n.ThresholdVoltage()})
+	}
+	return out
+}
+
+// DriverAmplitudeVsVDD sweeps the current-mirror driver output spike
+// amplitude against VDD (Fig. 5b).
+func DriverAmplitudeVsVDD(vdds []float64) ([]Point, error) {
+	out := make([]Point, 0, len(vdds))
+	for _, v := range vdds {
+		d := NewDriver()
+		d.VDD = v
+		amp, err := d.Amplitude()
+		if err != nil {
+			return nil, fmt.Errorf("neuron: driver amplitude at VDD=%.2f: %w", v, err)
+		}
+		out = append(out, Point{X: v, Y: amp})
+	}
+	return out, nil
+}
+
+// RobustDriverAmplitudeVsVDD sweeps the defended driver (Fig. 9b).
+func RobustDriverAmplitudeVsVDD(vdds []float64) ([]Point, error) {
+	out := make([]Point, 0, len(vdds))
+	for _, v := range vdds {
+		d := NewRobustDriver()
+		d.VDD = v
+		amp, err := d.Amplitude()
+		if err != nil {
+			return nil, fmt.Errorf("neuron: robust driver amplitude at VDD=%.2f: %w", v, err)
+		}
+		out = append(out, Point{X: v, Y: amp})
+	}
+	return out, nil
+}
+
+// AHTimeToSpikeVsVDD sweeps the AH first-spike latency against VDD
+// (Fig. 6b mechanism).
+func AHTimeToSpikeVsVDD(vdds []float64) ([]Point, error) {
+	out := make([]Point, 0, len(vdds))
+	for _, v := range vdds {
+		n := NewAxonHillock()
+		n.VDD = v
+		tts, err := n.TimeToSpike(40e-6, 10e-9)
+		if err != nil {
+			return nil, fmt.Errorf("neuron: AH time-to-spike at VDD=%.2f: %w", v, err)
+		}
+		out = append(out, Point{X: v, Y: tts})
+	}
+	return out, nil
+}
+
+// AHTimeToSpikeVsAmplitude sweeps the AH first-spike latency against
+// input spike amplitude at nominal VDD (Fig. 5c mechanism).
+func AHTimeToSpikeVsAmplitude(amps []float64) ([]Point, error) {
+	out := make([]Point, 0, len(amps))
+	for _, a := range amps {
+		n := NewAxonHillock()
+		n.IAmp = a
+		tts, err := n.TimeToSpike(80e-6, 10e-9)
+		if err != nil {
+			return nil, fmt.Errorf("neuron: AH time-to-spike at I=%.3g: %w", a, err)
+		}
+		out = append(out, Point{X: a, Y: tts})
+	}
+	return out, nil
+}
+
+// IAFTimeToSpikeVsAmplitude sweeps the I&F first-spike latency against
+// input spike amplitude at nominal VDD (Fig. 5c mechanism).
+func IAFTimeToSpikeVsAmplitude(amps []float64) ([]Point, error) {
+	out := make([]Point, 0, len(amps))
+	for _, a := range amps {
+		n := NewIAF()
+		n.IAmp = a
+		tts, err := n.TimeToSpike(200e-6, 10e-9)
+		if err != nil {
+			return nil, fmt.Errorf("neuron: I&F time-to-spike at I=%.3g: %w", a, err)
+		}
+		out = append(out, Point{X: a, Y: tts})
+	}
+	return out, nil
+}
+
+// IAFTimeToSpikeVsVDD sweeps the I&F first-spike latency against VDD
+// (Fig. 6c mechanism): higher VDD raises the divider threshold and
+// slows firing.
+func IAFTimeToSpikeVsVDD(vdds []float64) ([]Point, error) {
+	out := make([]Point, 0, len(vdds))
+	for _, v := range vdds {
+		n := NewIAF()
+		n.VDD = v
+		tts, err := n.TimeToSpike(200e-6, 10e-9)
+		if err != nil {
+			return nil, fmt.Errorf("neuron: I&F time-to-spike at VDD=%.2f: %w", v, err)
+		}
+		out = append(out, Point{X: v, Y: tts})
+	}
+	return out, nil
+}

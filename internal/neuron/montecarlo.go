@@ -1,0 +1,108 @@
+package neuron
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"snnfi/internal/spice"
+)
+
+// MonteCarlo samples the Axon Hillock membrane threshold under device
+// mismatch: each sample perturbs the first-inverter transistor
+// threshold voltages by N(0, SigmaVth). This quantifies the process
+// floor under the dummy-neuron detector — its trigger must sit above
+// the count spread that mismatch alone produces, which is what bounds
+// how far the paper's ≥10% rule could be tightened to close the
+// VDD≈0.9 blind spot found in experiment D3.
+type MonteCarlo struct {
+	N        int     // number of mismatch samples
+	SigmaVth float64 // per-device threshold-voltage sigma (V), ~10-30 mV at 65nm
+	Seed     int64
+	VDD      float64
+}
+
+// NewMonteCarlo returns a 65nm-class mismatch configuration.
+func NewMonteCarlo(n int) MonteCarlo {
+	return MonteCarlo{N: n, SigmaVth: 0.015, Seed: 1, VDD: 1.0}
+}
+
+// ThresholdSamples measures the inverter switching threshold for each
+// mismatch sample via a DC transfer sweep.
+func (mc MonteCarlo) ThresholdSamples() ([]float64, error) {
+	if mc.N <= 0 {
+		return nil, fmt.Errorf("neuron: Monte Carlo needs N > 0, got %d", mc.N)
+	}
+	rng := rand.New(rand.NewSource(mc.Seed))
+	out := make([]float64, 0, mc.N)
+	for i := 0; i < mc.N; i++ {
+		pp := spice.PMOS65()
+		np := spice.NMOS65()
+		pp.Vth += rng.NormFloat64() * mc.SigmaVth
+		np.Vth += rng.NormFloat64() * mc.SigmaVth
+
+		c := spice.New()
+		c.V("VDD", "vdd", "0", spice.DC(mc.VDD))
+		c.V("VIN", "in", "0", spice.DC(0))
+		c.PMOSDev("MP1", "out", "in", "vdd", 2e-6, 100e-9, pp)
+		c.NMOSDev("MN3", "out", "in", "0", 1e-6, 100e-9, np)
+		var sweep []float64
+		for v := 0.0; v <= mc.VDD+1e-9; v += mc.VDD / 200 {
+			sweep = append(sweep, v)
+		}
+		res, err := c.DCSweep("VIN", sweep)
+		if err != nil {
+			return nil, fmt.Errorf("neuron: MC sample %d: %w", i, err)
+		}
+		vout := res.V("out")
+		found := false
+		for j := range sweep {
+			if vout[j] <= sweep[j] {
+				out = append(out, sweep[j])
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("neuron: MC sample %d: inverter never switched", i)
+		}
+	}
+	return out, nil
+}
+
+// Spread returns the mean and standard deviation of samples.
+func Spread(samples []float64) (mean, sigma float64) {
+	if len(samples) == 0 {
+		return 0, 0
+	}
+	for _, s := range samples {
+		mean += s
+	}
+	mean /= float64(len(samples))
+	for _, s := range samples {
+		d := s - mean
+		sigma += d * d
+	}
+	sigma = math.Sqrt(sigma / float64(len(samples)))
+	return mean, sigma
+}
+
+// DetectorFalsePositiveRate estimates the fraction of mismatch samples
+// a count-deviation trigger would wrongly flag under nominal supply.
+// The dummy cell's firing period is proportional to its threshold
+// (integrate-to-threshold), so its spike count deviates by approximately
+// the negative of the threshold deviation.
+func DetectorFalsePositiveRate(samples []float64, triggerPc float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	mean, _ := Spread(samples)
+	flagged := 0
+	for _, s := range samples {
+		countDevPc := -100 * (s - mean) / mean
+		if countDevPc >= triggerPc || countDevPc <= -triggerPc {
+			flagged++
+		}
+	}
+	return float64(flagged) / float64(len(samples))
+}

@@ -1,0 +1,78 @@
+package neuron
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMonteCarloValidation(t *testing.T) {
+	mc := NewMonteCarlo(0)
+	if _, err := mc.ThresholdSamples(); err == nil {
+		t.Fatal("N=0 must fail")
+	}
+}
+
+func TestMonteCarloThresholdSpread(t *testing.T) {
+	mc := NewMonteCarlo(24)
+	samples, err := mc.ThresholdSamples()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, sigma := Spread(samples)
+	// Mean must sit near the nominal 0.5 V switching point.
+	if math.Abs(mean-0.5) > 0.05 {
+		t.Fatalf("MC mean threshold %.4f, want ≈0.5", mean)
+	}
+	// 15 mV per-device sigma maps to roughly half that at the switching
+	// point (two devices pull opposite ways); require a sane band.
+	if sigma < 0.002 || sigma > 0.05 {
+		t.Fatalf("MC threshold sigma %.4f V outside plausible band", sigma)
+	}
+	// Mismatch spread must stay far below the ±20% attack signal — the
+	// separation that makes the detector workable at all.
+	if sigma/mean > 0.05 {
+		t.Fatalf("mismatch spread %.1f%% rivals the attack signal", 100*sigma/mean)
+	}
+}
+
+func TestMonteCarloDeterministic(t *testing.T) {
+	a, err := NewMonteCarlo(6).ThresholdSamples()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewMonteCarlo(6).ThresholdSamples()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must reproduce samples")
+		}
+	}
+}
+
+func TestDetectorFalsePositiveRate(t *testing.T) {
+	mc := NewMonteCarlo(24)
+	samples, err := mc.ThresholdSamples()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's 10% trigger must be silent under pure mismatch.
+	if fp := DetectorFalsePositiveRate(samples, 10); fp != 0 {
+		t.Fatalf("10%% trigger false-positive rate %.2f, want 0", fp)
+	}
+	// A trigger tightened into the mismatch spread must start flagging.
+	if fp := DetectorFalsePositiveRate(samples, 0.1); fp == 0 {
+		t.Fatal("0.1% trigger should be swamped by mismatch")
+	}
+}
+
+func TestSpreadEdgeCases(t *testing.T) {
+	if m, s := Spread(nil); m != 0 || s != 0 {
+		t.Fatal("empty spread should be zeros")
+	}
+	m, s := Spread([]float64{2, 2, 2})
+	if m != 2 || s != 0 {
+		t.Fatalf("constant spread = (%v, %v)", m, s)
+	}
+}

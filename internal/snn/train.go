@@ -1,0 +1,127 @@
+package snn
+
+import (
+	"fmt"
+
+	"snnfi/internal/encoding"
+	"snnfi/internal/mnist"
+	"snnfi/internal/tensor"
+)
+
+// TrainResult summarizes a training run: per-neuron class assignments,
+// classification accuracy over the presented images, and activity
+// statistics useful for diagnosing attacks.
+type TrainResult struct {
+	Assignments []int   // neuron → class (−1 for never-active neurons)
+	Accuracy    float64 // fraction of images classified correctly
+	TotalSpikes float64 // total excitatory spikes over the run
+	PerImage    []tensor.Vector
+	Labels      []uint8
+}
+
+// Train presents the images once (the paper iterates training samples
+// once), learning with STDP, then assigns each excitatory neuron the
+// class for which it spiked most ("all activity" labeling) and scores
+// classification accuracy over the same presentations — the paper's
+// protocol: "all experiments are conducted on 1000 Poisson-encoded
+// training images", with accuracy measured on those images.
+func Train(n *DiehlCook, images []mnist.Image, enc *encoding.PoissonEncoder) (*TrainResult, error) {
+	if len(images) == 0 {
+		return nil, fmt.Errorf("snn: no training images")
+	}
+	res := &TrainResult{
+		PerImage: make([]tensor.Vector, 0, len(images)),
+		Labels:   make([]uint8, 0, len(images)),
+	}
+	for i := range images {
+		train := enc.Encode(&images[i], n.Cfg.Steps)
+		counts := n.RunImage(train, true)
+		res.TotalSpikes += counts.Sum()
+		res.PerImage = append(res.PerImage, counts)
+		res.Labels = append(res.Labels, images[i].Label)
+	}
+	res.Assignments = AssignLabels(res.PerImage, res.Labels, n.Cfg.NExc)
+	correct := 0
+	for i, counts := range res.PerImage {
+		if Classify(counts, res.Assignments) == int(res.Labels[i]) {
+			correct++
+		}
+	}
+	res.Accuracy = float64(correct) / float64(len(images))
+	return res, nil
+}
+
+// Evaluate presents images without learning and scores them against
+// existing assignments.
+func Evaluate(n *DiehlCook, images []mnist.Image, enc *encoding.PoissonEncoder, assignments []int) (float64, error) {
+	if len(images) == 0 {
+		return 0, fmt.Errorf("snn: no evaluation images")
+	}
+	correct := 0
+	for i := range images {
+		train := enc.Encode(&images[i], n.Cfg.Steps)
+		counts := n.RunImage(train, false)
+		if Classify(counts, assignments) == int(images[i].Label) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(images)), nil
+}
+
+// AssignLabels implements Diehl&Cook "all activity" neuron labeling:
+// each neuron is assigned the class for which its average spike count
+// (per presentation of that class) is highest. Neurons that never spike
+// get −1.
+func AssignLabels(perImage []tensor.Vector, labels []uint8, nNeurons int) []int {
+	const nClasses = 10
+	sums := tensor.NewMatrix(nClasses, nNeurons)
+	classCount := make([]float64, nClasses)
+	for i, counts := range perImage {
+		c := int(labels[i])
+		classCount[c]++
+		row := sums.Row(c)
+		row.Add(counts)
+	}
+	assignments := make([]int, nNeurons)
+	for j := 0; j < nNeurons; j++ {
+		bestClass, bestRate := -1, 0.0
+		for c := 0; c < nClasses; c++ {
+			if classCount[c] == 0 {
+				continue
+			}
+			rate := sums.At(c, j) / classCount[c]
+			if rate > bestRate {
+				bestRate, bestClass = rate, c
+			}
+		}
+		assignments[j] = bestClass
+	}
+	return assignments
+}
+
+// Classify predicts the class of one presentation from per-neuron spike
+// counts: the class whose assigned neurons fired most on average.
+// Returns −1 when nothing fired and no class can be preferred.
+func Classify(counts tensor.Vector, assignments []int) int {
+	const nClasses = 10
+	var sum [nClasses]float64
+	var num [nClasses]float64
+	for j, c := range assignments {
+		if c < 0 || j >= len(counts) {
+			continue
+		}
+		sum[c] += counts[j]
+		num[c]++
+	}
+	best, bestRate := -1, 0.0
+	for c := 0; c < nClasses; c++ {
+		if num[c] == 0 {
+			continue
+		}
+		rate := sum[c] / num[c]
+		if rate > bestRate {
+			bestRate, best = rate, c
+		}
+	}
+	return best
+}

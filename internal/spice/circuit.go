@@ -1,0 +1,298 @@
+// Package spice implements a small SPICE-class analog circuit simulator:
+// Modified Nodal Analysis (MNA) assembly, Newton–Raphson iteration for
+// nonlinear devices, dense LU solving, DC operating-point analysis with
+// gmin and source stepping, and fixed-step transient analysis with
+// backward-Euler or trapezoidal companion models.
+//
+// It is the substrate standing in for HSPICE in the paper reproduction:
+// large enough to simulate the Axon Hillock and voltage-amplifier I&F
+// neuron circuits, current-mirror drivers, comparators, and op-amp
+// feedback loops, and no larger.
+package spice
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Ground is the canonical name of the reference node. The alias "gnd"
+// is accepted by Node as well.
+const Ground = "0"
+
+// Circuit is a netlist under construction. Add devices with the R, C,
+// V, I, NMOS, PMOS, OpAmp, ... builder methods, then run OP, DCSweep or
+// Tran.
+type Circuit struct {
+	nodeIndex map[string]int
+	nodeNames []string
+	elements  []Element
+	branches  int
+
+	// GShunt is a conductance added from every node to ground during
+	// every analysis. It prevents floating-node singularities (e.g. a
+	// membrane capacitor driven only by a current source). Default 1e-9.
+	GShunt float64
+}
+
+// New returns an empty circuit.
+func New() *Circuit {
+	return &Circuit{
+		nodeIndex: make(map[string]int),
+		GShunt:    1e-9,
+	}
+}
+
+// Node interns a node name and returns its index, creating it on first
+// use. Ground ("0" or "gnd", any case) maps to index -1.
+func (c *Circuit) Node(name string) int {
+	if name == Ground || name == "gnd" || name == "GND" {
+		return -1
+	}
+	if i, ok := c.nodeIndex[name]; ok {
+		return i
+	}
+	i := len(c.nodeNames)
+	c.nodeIndex[name] = i
+	c.nodeNames = append(c.nodeNames, name)
+	return i
+}
+
+// NodeNames returns the non-ground node names in index order.
+func (c *Circuit) NodeNames() []string {
+	out := make([]string, len(c.nodeNames))
+	copy(out, c.nodeNames)
+	return out
+}
+
+// NumNodes returns the number of non-ground nodes.
+func (c *Circuit) NumNodes() int { return len(c.nodeNames) }
+
+// NumUnknowns returns the full MNA system size (nodes + branch currents).
+func (c *Circuit) NumUnknowns() int { return len(c.nodeNames) + c.branches }
+
+// Add registers an element. Elements that carry branch-current unknowns
+// (voltage sources, op-amps) are assigned their branch index here.
+func (c *Circuit) Add(e Element) {
+	if b, ok := e.(branched); ok {
+		b.setBranch(c.branches)
+		c.branches += b.numBranches()
+	}
+	c.elements = append(c.elements, e)
+}
+
+// Elements returns the registered elements in insertion order.
+func (c *Circuit) Elements() []Element { return c.elements }
+
+// Element finds a registered element by name, or nil.
+func (c *Circuit) Element(name string) Element {
+	for _, e := range c.elements {
+		if e.Name() == name {
+			return e
+		}
+	}
+	return nil
+}
+
+// Element is anything that can stamp its (linearized) companion model
+// into the MNA system.
+type Element interface {
+	// Name identifies the element for lookup and error messages.
+	Name() string
+	// Stamp adds the element's contribution to ctx.A and ctx.B using the
+	// current Newton iterate ctx.X and, in transient mode, the previous
+	// accepted solution ctx.XPrev.
+	Stamp(ctx *Context)
+}
+
+// branched is implemented by elements that introduce extra MNA unknowns
+// (branch currents).
+type branched interface {
+	setBranch(idx int)
+	numBranches() int
+}
+
+// stateful is implemented by elements with internal dynamic state that
+// must advance when a transient step is accepted (e.g. the trapezoidal
+// capacitor's previous current).
+type stateful interface {
+	// accept is called once per accepted transient point with the
+	// accepted solution.
+	accept(ctx *Context)
+	// reset restores the element to its pre-analysis state.
+	reset()
+}
+
+// Context carries one MNA assembly: the system A·x = B plus the solver
+// state visible to device stamps.
+type Context struct {
+	N     int // number of node unknowns
+	A     [][]float64
+	B     []float64
+	X     []float64 // current Newton iterate
+	XPrev []float64 // previous accepted transient solution (nil in DC)
+
+	Time     float64 // evaluation time (s)
+	Dt       float64 // timestep (s); 0 in DC analyses
+	DC       bool    // true for operating-point / DC-sweep assembly
+	Gmin     float64 // junction gmin added by nonlinear devices
+	SrcScale float64 // independent-source scale factor (source stepping)
+	Method   Integrator
+}
+
+// Integrator selects the transient companion-model discretization.
+type Integrator int
+
+const (
+	// BackwardEuler is robust and strongly damped (default).
+	BackwardEuler Integrator = iota
+	// Trapezoidal is second-order accurate but can ring on stiff steps.
+	Trapezoidal
+)
+
+func (m Integrator) String() string {
+	switch m {
+	case BackwardEuler:
+		return "backward-euler"
+	case Trapezoidal:
+		return "trapezoidal"
+	default:
+		return fmt.Sprintf("integrator(%d)", int(m))
+	}
+}
+
+// V returns the node voltage of MNA index i in the current iterate
+// (0 for ground).
+func (ctx *Context) V(i int) float64 {
+	if i < 0 {
+		return 0
+	}
+	return ctx.X[i]
+}
+
+// VPrev returns the previous accepted node voltage (0 for ground or in
+// DC analyses).
+func (ctx *Context) VPrev(i int) float64 {
+	if i < 0 || ctx.XPrev == nil {
+		return 0
+	}
+	return ctx.XPrev[i]
+}
+
+// AddA accumulates A[i][j] += v, silently dropping ground rows/columns.
+func (ctx *Context) AddA(i, j int, v float64) {
+	if i < 0 || j < 0 {
+		return
+	}
+	ctx.A[i][j] += v
+}
+
+// AddB accumulates B[i] += v, silently dropping the ground row.
+func (ctx *Context) AddB(i int, v float64) {
+	if i < 0 {
+		return
+	}
+	ctx.B[i] += v
+}
+
+// StampConductance stamps a two-terminal conductance g between nodes a
+// and b.
+func (ctx *Context) StampConductance(a, b int, g float64) {
+	ctx.AddA(a, a, g)
+	ctx.AddA(b, b, g)
+	ctx.AddA(a, b, -g)
+	ctx.AddA(b, a, -g)
+}
+
+// StampCurrent stamps an independent current i flowing from node a to
+// node b (leaving a, entering b).
+func (ctx *Context) StampCurrent(a, b int, i float64) {
+	ctx.AddB(a, -i)
+	ctx.AddB(b, i)
+}
+
+// BranchIndex converts a branch number into its MNA unknown index.
+func (ctx *Context) BranchIndex(branch int) int { return ctx.N + branch }
+
+// newContext allocates an assembly context for the circuit.
+func (c *Circuit) newContext() *Context {
+	n := c.NumUnknowns()
+	a := make([][]float64, n)
+	backing := make([]float64, n*n)
+	for i := range a {
+		a[i] = backing[i*n : (i+1)*n]
+	}
+	return &Context{
+		N:        c.NumNodes(),
+		A:        a,
+		B:        make([]float64, n),
+		X:        make([]float64, n),
+		SrcScale: 1,
+	}
+}
+
+// assemble clears and re-stamps the full system for the current iterate.
+func (c *Circuit) assemble(ctx *Context) {
+	n := len(ctx.B)
+	for i := 0; i < n; i++ {
+		row := ctx.A[i]
+		for j := range row {
+			row[j] = 0
+		}
+		ctx.B[i] = 0
+	}
+	// Global shunt to ground keeps otherwise-floating nodes anchored.
+	if c.GShunt > 0 {
+		for i := 0; i < ctx.N; i++ {
+			ctx.A[i][i] += c.GShunt
+		}
+	}
+	for _, e := range c.elements {
+		e.Stamp(ctx)
+	}
+}
+
+// Validate performs basic netlist sanity checks: duplicate element
+// names and nodes that appear in only one device terminal (excluding
+// ground). It returns nil when the netlist looks well-formed.
+func (c *Circuit) Validate() error {
+	seen := make(map[string]bool, len(c.elements))
+	for _, e := range c.elements {
+		if seen[e.Name()] {
+			return fmt.Errorf("spice: duplicate element name %q", e.Name())
+		}
+		seen[e.Name()] = true
+	}
+	degree := make(map[int]int)
+	for _, e := range c.elements {
+		if t, ok := e.(interface{ Terminals() []int }); ok {
+			for _, n := range t.Terminals() {
+				if n >= 0 {
+					degree[n]++
+				}
+			}
+		}
+	}
+	var lonely []string
+	for name, idx := range c.nodeIndex {
+		if degree[idx] < 2 {
+			lonely = append(lonely, name)
+		}
+	}
+	sort.Strings(lonely)
+	if len(lonely) > 0 {
+		return fmt.Errorf("spice: nodes with fewer than two connections: %v", lonely)
+	}
+	return nil
+}
+
+// maxAbs returns max(|v|) over the slice.
+func maxAbs(v []float64) float64 {
+	m := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}

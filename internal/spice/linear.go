@@ -1,0 +1,62 @@
+package spice
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular is returned when the MNA matrix cannot be factored, which
+// usually indicates a floating node or an inconsistent netlist.
+var ErrSingular = errors.New("spice: singular MNA matrix")
+
+// luSolve solves A·x = b in place using LU decomposition with partial
+// pivoting. A and b are overwritten; the solution is returned in b's
+// storage. The matrices involved are small (tens of unknowns), so a
+// dense direct solve is the right tool.
+func luSolve(a [][]float64, b []float64) error {
+	n := len(b)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot: pick the largest magnitude in this column.
+		pivRow, pivVal := col, math.Abs(a[col][col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a[r][col]); v > pivVal {
+				pivRow, pivVal = r, v
+			}
+		}
+		if pivVal < 1e-300 {
+			return ErrSingular
+		}
+		if pivRow != col {
+			a[pivRow], a[col] = a[col], a[pivRow]
+			b[pivRow], b[col] = b[col], b[pivRow]
+			perm[pivRow], perm[col] = perm[col], perm[pivRow]
+		}
+		inv := 1 / a[col][col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			a[r][col] = 0
+			row, prow := a[r], a[col]
+			for j := col + 1; j < n; j++ {
+				row[j] -= f * prow[j]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		row := a[i]
+		for j := i + 1; j < n; j++ {
+			s -= row[j] * b[j]
+		}
+		b[i] = s / row[i]
+	}
+	return nil
+}

@@ -1,0 +1,129 @@
+package spice
+
+import (
+	"fmt"
+	"math"
+)
+
+// Crossings returns the times at which waveform v crosses level in the
+// given direction (rising when rising is true), linearly interpolated
+// between samples.
+func Crossings(t, v []float64, level float64, rising bool) []float64 {
+	var out []float64
+	for i := 1; i < len(v) && i < len(t); i++ {
+		a, b := v[i-1], v[i]
+		crossed := (rising && a < level && b >= level) || (!rising && a > level && b <= level)
+		if !crossed {
+			continue
+		}
+		f := 0.0
+		if b != a {
+			f = (level - a) / (b - a)
+		}
+		out = append(out, t[i-1]+f*(t[i]-t[i-1]))
+	}
+	return out
+}
+
+// FirstCrossing returns the first crossing time, or an error if the
+// waveform never crosses the level.
+func FirstCrossing(t, v []float64, level float64, rising bool) (float64, error) {
+	xs := Crossings(t, v, level, rising)
+	if len(xs) == 0 {
+		dir := "falling"
+		if rising {
+			dir = "rising"
+		}
+		return 0, fmt.Errorf("spice: no %s crossing of %.4g", dir, level)
+	}
+	return xs[0], nil
+}
+
+// SpikeCount counts full output spikes: rising crossings of level that
+// are each followed by a falling crossing.
+func SpikeCount(t, v []float64, level float64) int {
+	rise := Crossings(t, v, level, true)
+	fall := Crossings(t, v, level, false)
+	n := 0
+	fi := 0
+	for _, r := range rise {
+		for fi < len(fall) && fall[fi] <= r {
+			fi++
+		}
+		if fi < len(fall) {
+			n++
+			fi++
+		}
+	}
+	return n
+}
+
+// SpikePeriod estimates the steady-state firing period from the median
+// interval between successive rising crossings. It needs at least three
+// spikes.
+func SpikePeriod(t, v []float64, level float64) (float64, error) {
+	rise := Crossings(t, v, level, true)
+	if len(rise) < 3 {
+		return 0, fmt.Errorf("spice: need ≥3 spikes to estimate period, got %d", len(rise))
+	}
+	intervals := make([]float64, 0, len(rise)-1)
+	for i := 1; i < len(rise); i++ {
+		intervals = append(intervals, rise[i]-rise[i-1])
+	}
+	// Median by selection (tiny slices).
+	for i := 0; i < len(intervals); i++ {
+		for j := i + 1; j < len(intervals); j++ {
+			if intervals[j] < intervals[i] {
+				intervals[i], intervals[j] = intervals[j], intervals[i]
+			}
+		}
+	}
+	return intervals[len(intervals)/2], nil
+}
+
+// Peak returns the maximum of v between times t0 and t1 (inclusive).
+func Peak(t, v []float64, t0, t1 float64) float64 {
+	peak := math.Inf(-1)
+	for i := range v {
+		if i >= len(t) || t[i] < t0 {
+			continue
+		}
+		if t[i] > t1 {
+			break
+		}
+		if v[i] > peak {
+			peak = v[i]
+		}
+	}
+	return peak
+}
+
+// Mean returns the average of v between times t0 and t1 (inclusive).
+func Mean(t, v []float64, t0, t1 float64) float64 {
+	sum, n := 0.0, 0
+	for i := range v {
+		if i >= len(t) || t[i] < t0 {
+			continue
+		}
+		if t[i] > t1 {
+			break
+		}
+		sum += v[i]
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// SettledValue returns the mean over the final fraction (e.g. 0.1 = last
+// 10%) of the waveform, a robust "final value" estimate.
+func SettledValue(t, v []float64, finalFraction float64) float64 {
+	if len(t) == 0 {
+		return 0
+	}
+	t1 := t[len(t)-1]
+	t0 := t1 * (1 - finalFraction)
+	return Mean(t, v, t0, t1)
+}

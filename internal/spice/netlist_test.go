@@ -1,0 +1,203 @@
+package spice
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseValue(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+	}{
+		{"1k", 1e3}, {"2.2meg", 2.2e6}, {"100n", 100e-9}, {"1p", 1e-12},
+		{"0.5u", 0.5e-6}, {"3m", 3e-3}, {"1e-9", 1e-9}, {"42", 42},
+		{"10pF", 10e-12}, {"1.5K", 1.5e3}, {"2f", 2e-15}, {"1g", 1e9},
+		{"-0.4", -0.4}, {"1t", 1e12},
+	}
+	for _, c := range cases {
+		got, err := ParseValue(c.in)
+		if err != nil {
+			t.Fatalf("ParseValue(%q): %v", c.in, err)
+		}
+		if math.Abs(got-c.want) > 1e-18*math.Max(1, math.Abs(c.want)) {
+			t.Fatalf("ParseValue(%q) = %g, want %g", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "abc", "1x", "k1"} {
+		if _, err := ParseValue(bad); err == nil {
+			t.Fatalf("ParseValue(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseNetlistDivider(t *testing.T) {
+	deck := `
+* simple divider
+V1 in 0 DC 1.0
+R1 in mid 1k
+R2 mid 0 1k   ; lower leg
+.end
+this line is never read
+`
+	c, err := ParseNetlist(deck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := c.OP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	almostEqual(t, ctx.V(c.Node("mid")), 0.5, 1e-6, "parsed divider midpoint")
+}
+
+func TestParseNetlistInverter(t *testing.T) {
+	deck := `
+VDD vdd 0 DC 1.0
+VIN in 0 DC 0.2
+MP out in vdd pmos W=2u L=100n
+MN out in 0 nmos W=1u L=100n
+`
+	c, err := ParseNetlist(deck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := c.OP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ctx.V(c.Node("out")); got < 0.9 {
+		t.Fatalf("inverter with low input should output high, got %.3f", got)
+	}
+}
+
+func TestParseNetlistWaveforms(t *testing.T) {
+	deck := `
+V1 a 0 PULSE(0 1 10n 1n 1n 20n 50n)
+V2 b 0 SIN(0.5 0.1 1meg)
+V3 c 0 PWL(0 0 1u 1 2u 0.5)
+I1 0 d SPIKE(200n 25n 50n)
+R1 a 0 1k
+R2 b 0 1k
+R3 c 0 1k
+R4 d 0 1k
+`
+	c, err := ParseNetlist(deck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := c.Element("V1").(*VSource)
+	if got := v1.W.At(20e-9); got != 1 {
+		t.Fatalf("PULSE at plateau = %v", got)
+	}
+	v2 := c.Element("V2").(*VSource)
+	if got := v2.W.At(0); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("SIN offset = %v", got)
+	}
+	v3 := c.Element("V3").(*VSource)
+	if got := v3.W.At(0.5e-6); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("PWL midpoint = %v", got)
+	}
+	i1 := c.Element("I1").(*ISource)
+	if got := i1.W.At(10e-9); math.Abs(got-200e-9) > 1e-15 {
+		t.Fatalf("SPIKE plateau = %v", got)
+	}
+}
+
+func TestParseNetlistBareValueIsDC(t *testing.T) {
+	c, err := ParseNetlist("V1 a 0 2.5\nR1 a 0 1k\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := c.Element("V1").(*VSource)
+	if v.W.At(123) != 2.5 {
+		t.Fatal("bare value should parse as DC")
+	}
+}
+
+func TestParseNetlistOpAmpAndVCVS(t *testing.T) {
+	deck := `
+VIN in 0 DC 0.3
+U1 in out out GAIN=1e4 LO=0 HI=1
+E1 e 0 in 0 2.0
+RL out 0 10k
+RE e 0 10k
+`
+	c, err := ParseNetlist(deck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := c.OP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	almostEqual(t, ctx.V(c.Node("out")), 0.3, 1e-3, "parsed follower")
+	almostEqual(t, ctx.V(c.Node("e")), 0.6, 1e-6, "parsed VCVS")
+}
+
+func TestParseNetlistErrors(t *testing.T) {
+	cases := []string{
+		"R1 a 0",                 // missing value
+		"R1 a 0 -5",              // non-positive resistor
+		"C1 a 0 0",               // non-positive capacitor
+		"X1 a b c",               // unknown card
+		"M1 d g s bjt W=1u L=1u", // unknown model
+		"M1 d g s nmos W=1u L=0", // bad geometry
+		"M1 d g s nmos FOO=1",    // unknown MOS param
+		"V1 a 0 PULSE(0 1)",      // too few PULSE args
+		"V1 a 0 TRIANGLE(0 1)",   // unknown waveform
+		"V1 a 0 PWL(0 0 1u)",     // odd PWL args
+		".tran 1n 1u",            // unsupported directive
+		"U1 a b out BAD",         // malformed opamp param
+	}
+	for _, deck := range cases {
+		if _, err := ParseNetlist(deck); err == nil {
+			t.Fatalf("deck %q should fail to parse", deck)
+		}
+	}
+}
+
+func TestParseNetlistAxonHillockDeck(t *testing.T) {
+	// The full Axon Hillock neuron as a text deck: same topology as
+	// neuron.NewAxonHillock().Build(), exercising every card type the
+	// neuron circuits need. It must fire.
+	deck := `
+* Axon Hillock neuron (Fig. 2a)
+VDD vdd 0 DC 1.0
+VPW vpw 0 DC 0.42
+IIN 0 vmem SPIKE(200n 25n 25n)
+CMEM vmem 0 1p
+CFB vout vmem 1p
+MP1 n1 vmem vdd pmos W=2u L=100n
+MN3 n1 vmem 0 nmos W=1u L=100n
+MP2 vout n1 vdd pmos W=2u L=100n
+MN4 vout n1 0 nmos W=1u L=100n
+MN1 vmem vout r nmos W=2u L=100n
+MN2 r vpw 0 nmos W=1u L=200n
+CPN1 n1 0 5f
+CPR r 0 2f
+.end
+`
+	c, err := ParseNetlist(deck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Tran(TranOptions{Dt: 10e-9, Stop: 20e-6, UIC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := SpikeCount(res.Time, res.V("vout"), 0.5); n < 2 {
+		t.Fatalf("parsed AH deck should fire, got %d spikes", n)
+	}
+}
+
+func TestTokenizeKeepsGroups(t *testing.T) {
+	toks := tokenize("V1 a 0 PULSE(0 1, 2 3)")
+	if len(toks) != 4 || !strings.HasPrefix(toks[3], "PULSE(") {
+		t.Fatalf("tokenize = %v", toks)
+	}
+}

@@ -1,0 +1,277 @@
+// Package tensor provides the small dense linear-algebra substrate used
+// by the SNN simulator: float64 vectors and row-major matrices with the
+// handful of operations spiking-network training needs (masked
+// accumulation, outer-product updates, row/column reductions).
+//
+// It is deliberately minimal — no views, no broadcasting — so that every
+// operation is obvious and allocation-free in the hot path.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Vector is a dense float64 vector.
+type Vector []float64
+
+// NewVector returns a zero vector of length n.
+func NewVector(n int) Vector { return make(Vector, n) }
+
+// Fill sets every element to v.
+func (x Vector) Fill(v float64) {
+	for i := range x {
+		x[i] = v
+	}
+}
+
+// Copy returns a deep copy of x.
+func (x Vector) Copy() Vector {
+	y := make(Vector, len(x))
+	copy(y, x)
+	return y
+}
+
+// Add adds y into x element-wise. Panics if lengths differ.
+func (x Vector) Add(y Vector) {
+	checkLen(len(x), len(y))
+	for i := range x {
+		x[i] += y[i]
+	}
+}
+
+// Sub subtracts y from x element-wise.
+func (x Vector) Sub(y Vector) {
+	checkLen(len(x), len(y))
+	for i := range x {
+		x[i] -= y[i]
+	}
+}
+
+// Scale multiplies every element by s.
+func (x Vector) Scale(s float64) {
+	for i := range x {
+		x[i] *= s
+	}
+}
+
+// AddScaled adds s*y into x.
+func (x Vector) AddScaled(s float64, y Vector) {
+	checkLen(len(x), len(y))
+	for i := range x {
+		x[i] += s * y[i]
+	}
+}
+
+// Sum returns the sum of all elements.
+func (x Vector) Sum() float64 {
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+// Max returns the maximum element and its index. For an empty vector it
+// returns (-Inf, -1).
+func (x Vector) Max() (float64, int) {
+	best, idx := math.Inf(-1), -1
+	for i, v := range x {
+		if v > best {
+			best, idx = v, i
+		}
+	}
+	return best, idx
+}
+
+// Min returns the minimum element and its index. For an empty vector it
+// returns (+Inf, -1).
+func (x Vector) Min() (float64, int) {
+	best, idx := math.Inf(1), -1
+	for i, v := range x {
+		if v < best {
+			best, idx = v, i
+		}
+	}
+	return best, idx
+}
+
+// Argmax returns the index of the largest element, breaking ties toward
+// the lowest index. Returns -1 for an empty vector.
+func (x Vector) Argmax() int {
+	_, idx := x.Max()
+	return idx
+}
+
+// Clamp limits every element to [lo, hi].
+func (x Vector) Clamp(lo, hi float64) {
+	for i, v := range x {
+		if v < lo {
+			x[i] = lo
+		} else if v > hi {
+			x[i] = hi
+		}
+	}
+}
+
+// Zero sets every element to 0.
+func (x Vector) Zero() { x.Fill(0) }
+
+// Dot returns the inner product of x and y.
+func (x Vector) Dot(y Vector) float64 {
+	checkLen(len(x), len(y))
+	var s float64
+	for i := range x {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix returns a zero matrix with the given shape.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: invalid shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Matrix) Row(i int) Vector { return Vector(m.Data[i*m.Cols : (i+1)*m.Cols]) }
+
+// Copy returns a deep copy of m.
+func (m *Matrix) Copy() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Fill sets every element to v.
+func (m *Matrix) Fill(v float64) { Vector(m.Data).Fill(v) }
+
+// Scale multiplies every element by s.
+func (m *Matrix) Scale(s float64) { Vector(m.Data).Scale(s) }
+
+// Clamp limits every element to [lo, hi].
+func (m *Matrix) Clamp(lo, hi float64) { Vector(m.Data).Clamp(lo, hi) }
+
+// MulVec computes out = mᵀ·x when transpose is true (treating rows as
+// inputs, columns as outputs, the synapse convention w[pre][post]) or
+// out = m·x otherwise. out must have the correct length.
+func (m *Matrix) MulVec(x, out Vector, transpose bool) {
+	if transpose {
+		checkLen(len(x), m.Rows)
+		checkLen(len(out), m.Cols)
+		out.Zero()
+		for i := 0; i < m.Rows; i++ {
+			xi := x[i]
+			if xi == 0 {
+				continue
+			}
+			row := m.Data[i*m.Cols : (i+1)*m.Cols]
+			for j, w := range row {
+				out[j] += xi * w
+			}
+		}
+		return
+	}
+	checkLen(len(x), m.Cols)
+	checkLen(len(out), m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var s float64
+		for j, w := range row {
+			s += w * x[j]
+		}
+		out[i] = s
+	}
+}
+
+// AccumulateRows adds row i of m into out for every index i in active.
+// This is the sparse forward-propagation kernel: active carries the
+// indices of presynaptic neurons that spiked this step.
+func (m *Matrix) AccumulateRows(active []int, out Vector) {
+	checkLen(len(out), m.Cols)
+	for _, i := range active {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, w := range row {
+			out[j] += w
+		}
+	}
+}
+
+// ColSum returns the per-column sums of m.
+func (m *Matrix) ColSum() Vector {
+	s := NewVector(m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, w := range row {
+			s[j] += w
+		}
+	}
+	return s
+}
+
+// RowSum returns the per-row sums of m.
+func (m *Matrix) RowSum() Vector {
+	s := NewVector(m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		s[i] = Vector(m.Data[i*m.Cols : (i+1)*m.Cols]).Sum()
+	}
+	return s
+}
+
+// NormalizeCols rescales each column so its sum equals target. Columns
+// whose sum is zero are left untouched. This is the Diehl&Cook weight
+// normalization applied to the input→excitatory connection.
+func (m *Matrix) NormalizeCols(target float64) {
+	sums := m.ColSum()
+	for j := 0; j < m.Cols; j++ {
+		if sums[j] == 0 {
+			continue
+		}
+		f := target / sums[j]
+		for i := 0; i < m.Rows; i++ {
+			m.Data[i*m.Cols+j] *= f
+		}
+	}
+}
+
+// RandFill fills m with uniform values in [lo, hi) drawn from rng.
+func (m *Matrix) RandFill(rng *rand.Rand, lo, hi float64) {
+	for i := range m.Data {
+		m.Data[i] = lo + rng.Float64()*(hi-lo)
+	}
+}
+
+// Equal reports whether two matrices have the same shape and elements
+// within tolerance tol.
+func (m *Matrix) Equal(o *Matrix, tol float64) bool {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		return false
+	}
+	for i, v := range m.Data {
+		if math.Abs(v-o.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func checkLen(a, b int) {
+	if a != b {
+		panic(fmt.Sprintf("tensor: length mismatch %d != %d", a, b))
+	}
+}

@@ -1,0 +1,249 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVectorBasics(t *testing.T) {
+	v := NewVector(4)
+	v.Fill(2)
+	if got := v.Sum(); got != 8 {
+		t.Fatalf("Sum = %v, want 8", got)
+	}
+	v.Scale(0.5)
+	if got := v.Sum(); got != 4 {
+		t.Fatalf("after Scale, Sum = %v, want 4", got)
+	}
+	w := Vector{1, 2, 3, 4}
+	v.Add(w)
+	if v[3] != 5 {
+		t.Fatalf("Add: got %v", v)
+	}
+	v.Sub(w)
+	if v[3] != 1 {
+		t.Fatalf("Sub: got %v", v)
+	}
+	v.AddScaled(2, w)
+	if v[0] != 3 {
+		t.Fatalf("AddScaled: got %v", v)
+	}
+}
+
+func TestVectorMaxMinArgmax(t *testing.T) {
+	v := Vector{3, -1, 7, 7, 2}
+	mx, i := v.Max()
+	if mx != 7 || i != 2 {
+		t.Fatalf("Max = (%v, %d)", mx, i)
+	}
+	mn, j := v.Min()
+	if mn != -1 || j != 1 {
+		t.Fatalf("Min = (%v, %d)", mn, j)
+	}
+	if v.Argmax() != 2 {
+		t.Fatalf("Argmax = %d", v.Argmax())
+	}
+	var empty Vector
+	if empty.Argmax() != -1 {
+		t.Fatal("empty Argmax should be -1")
+	}
+}
+
+func TestVectorClamp(t *testing.T) {
+	v := Vector{-2, 0.5, 3}
+	v.Clamp(0, 1)
+	want := Vector{0, 0.5, 1}
+	for i := range v {
+		if v[i] != want[i] {
+			t.Fatalf("Clamp: got %v", v)
+		}
+	}
+}
+
+func TestVectorDot(t *testing.T) {
+	a := Vector{1, 2, 3}
+	b := Vector{4, 5, 6}
+	if got := a.Dot(b); got != 32 {
+		t.Fatalf("Dot = %v", got)
+	}
+}
+
+func TestVectorCopyIndependent(t *testing.T) {
+	a := Vector{1, 2}
+	b := a.Copy()
+	b[0] = 99
+	if a[0] != 1 {
+		t.Fatal("Copy must not alias")
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	a := Vector{1}
+	a.Add(Vector{1, 2})
+}
+
+func TestMatrixAtSetRow(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 2, 5)
+	if m.At(1, 2) != 5 {
+		t.Fatal("At/Set mismatch")
+	}
+	row := m.Row(1)
+	row[0] = 7
+	if m.At(1, 0) != 7 {
+		t.Fatal("Row must alias storage")
+	}
+}
+
+func TestMatrixMulVec(t *testing.T) {
+	m := NewMatrix(2, 3)
+	// [[1,2,3],[4,5,6]]
+	for i, v := range []float64{1, 2, 3, 4, 5, 6} {
+		m.Data[i] = v
+	}
+	out := NewVector(2)
+	m.MulVec(Vector{1, 1, 1}, out, false)
+	if out[0] != 6 || out[1] != 15 {
+		t.Fatalf("MulVec = %v", out)
+	}
+	outT := NewVector(3)
+	m.MulVec(Vector{1, 2}, outT, true)
+	if outT[0] != 9 || outT[1] != 12 || outT[2] != 15 {
+		t.Fatalf("MulVec transpose = %v", outT)
+	}
+}
+
+func TestAccumulateRowsMatchesMulVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := NewMatrix(10, 6)
+	m.RandFill(rng, 0, 1)
+	active := []int{1, 4, 7}
+	x := NewVector(10)
+	for _, i := range active {
+		x[i] = 1
+	}
+	want := NewVector(6)
+	m.MulVec(x, want, true)
+	got := NewVector(6)
+	m.AccumulateRows(active, got)
+	for j := range want {
+		if math.Abs(want[j]-got[j]) > 1e-12 {
+			t.Fatalf("AccumulateRows[%d] = %v, want %v", j, got[j], want[j])
+		}
+	}
+}
+
+func TestNormalizeCols(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := NewMatrix(8, 4)
+	m.RandFill(rng, 0.1, 1)
+	m.NormalizeCols(2.5)
+	sums := m.ColSum()
+	for j, s := range sums {
+		if math.Abs(s-2.5) > 1e-9 {
+			t.Fatalf("column %d sum %v, want 2.5", j, s)
+		}
+	}
+}
+
+func TestNormalizeColsSkipsZeroColumns(t *testing.T) {
+	m := NewMatrix(3, 2)
+	m.Set(0, 0, 1)
+	m.NormalizeCols(10)
+	if m.At(0, 1) != 0 || m.At(1, 1) != 0 {
+		t.Fatal("zero column must stay zero")
+	}
+	if m.At(0, 0) != 10 {
+		t.Fatalf("nonzero column not normalized: %v", m.At(0, 0))
+	}
+}
+
+func TestRowColSums(t *testing.T) {
+	m := NewMatrix(2, 2)
+	copy(m.Data, []float64{1, 2, 3, 4})
+	rs := m.RowSum()
+	cs := m.ColSum()
+	if rs[0] != 3 || rs[1] != 7 || cs[0] != 4 || cs[1] != 6 {
+		t.Fatalf("sums: rows %v cols %v", rs, cs)
+	}
+}
+
+func TestMatrixEqual(t *testing.T) {
+	a := NewMatrix(2, 2)
+	b := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	b.Set(0, 0, 1.0000001)
+	if !a.Equal(b, 1e-5) {
+		t.Fatal("should be equal within tolerance")
+	}
+	if a.Equal(b, 1e-9) {
+		t.Fatal("should differ at tight tolerance")
+	}
+	c := NewMatrix(2, 3)
+	if a.Equal(c, 1) {
+		t.Fatal("shape mismatch must not be equal")
+	}
+}
+
+// Property: NormalizeCols is idempotent.
+func TestNormalizeColsIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewMatrix(6, 5)
+		m.RandFill(rng, 0.01, 1)
+		m.NormalizeCols(3)
+		before := m.Copy()
+		m.NormalizeCols(3)
+		return m.Equal(before, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Scale then Scale by inverse returns the original vector.
+func TestScaleInverseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := NewVector(16)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		orig := v.Copy()
+		v.Scale(3.5)
+		v.Scale(1 / 3.5)
+		for i := range v {
+			if math.Abs(v[i]-orig[i]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Sum is linear — Sum(a+b) = Sum(a)+Sum(b).
+func TestSumLinearityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := NewVector(12), NewVector(12)
+		for i := range a {
+			a[i], b[i] = rng.NormFloat64(), rng.NormFloat64()
+		}
+		sa, sb := a.Sum(), b.Sum()
+		a.Add(b)
+		return math.Abs(a.Sum()-(sa+sb)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

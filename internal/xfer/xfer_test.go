@@ -1,0 +1,156 @@
+package xfer
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCurveInterpolation(t *testing.T) {
+	c, err := NewCurve([]float64{0, 1, 2}, []float64{0, 10, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ x, want float64 }{
+		{-1, 0}, {0, 0}, {0.5, 5}, {1, 10}, {1.5, 25}, {2, 40}, {3, 40},
+	}
+	for _, tc := range cases {
+		if got := c.At(tc.x); math.Abs(got-tc.want) > 1e-12 {
+			t.Fatalf("At(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestCurveValidation(t *testing.T) {
+	if _, err := NewCurve([]float64{0, 0}, []float64{1, 2}); err == nil {
+		t.Fatal("non-increasing X must fail")
+	}
+	if _, err := NewCurve([]float64{0}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch must fail")
+	}
+	if _, err := NewCurve(nil, nil); err == nil {
+		t.Fatal("empty curve must fail")
+	}
+}
+
+func TestCurveInverseRoundTrip(t *testing.T) {
+	c := ThresholdRatio(IAF)
+	f := func(raw float64) bool {
+		vdd := 0.8 + math.Mod(math.Abs(raw), 0.4)
+		y := c.At(vdd)
+		back := c.Inverse(y)
+		return math.Abs(back-vdd) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDriverAmplitudeRatioAnchors(t *testing.T) {
+	c := DriverAmplitudeRatio()
+	// Paper Fig. 5b: 136 nA at 0.8 V and 264 nA at 1.2 V of a 200 nA nominal.
+	if got := c.At(0.8); math.Abs(got-0.68) > 1e-9 {
+		t.Fatalf("ratio at 0.8 V = %v, want 0.68", got)
+	}
+	if got := c.At(1.0); got != 1 {
+		t.Fatalf("ratio at nominal = %v, want 1", got)
+	}
+	if got := c.At(1.2); math.Abs(got-1.32) > 1e-9 {
+		t.Fatalf("ratio at 1.2 V = %v, want 1.32", got)
+	}
+}
+
+func TestThresholdRatioAnchors(t *testing.T) {
+	ah := ThresholdRatio(AxonHillock)
+	iaf := ThresholdRatio(IAF)
+	if got := ah.At(0.8); math.Abs(got-(1-0.1791)) > 1e-9 {
+		t.Fatalf("AH ratio at 0.8 = %v", got)
+	}
+	if got := iaf.At(1.2); math.Abs(got-(1+0.1714)) > 1e-9 {
+		t.Fatalf("I&F ratio at 1.2 = %v", got)
+	}
+}
+
+func TestTimeToSpikeCurvesDirection(t *testing.T) {
+	for _, kind := range []NeuronKind{AxonHillock, IAF} {
+		amp := TimeToSpikeVsAmplitudeRatio(kind)
+		if !(amp.At(136e-9) > 1 && amp.At(264e-9) < 1) {
+			t.Fatalf("%v: lower amplitude must slow, higher must speed", kind)
+		}
+		vdd := TimeToSpikeVsVDDRatio(kind)
+		if !(vdd.At(0.8) < 1 && vdd.At(1.2) > 1) {
+			t.Fatalf("%v: low VDD must fire faster", kind)
+		}
+	}
+}
+
+func TestCurvesMonotone(t *testing.T) {
+	curves := map[string]Curve{
+		"driver":  DriverAmplitudeRatio(),
+		"thr-ah":  ThresholdRatio(AxonHillock),
+		"thr-iaf": ThresholdRatio(IAF),
+	}
+	for name, c := range curves {
+		prev := math.Inf(-1)
+		for v := 0.8; v <= 1.2001; v += 0.01 {
+			y := c.At(v)
+			if y < prev {
+				t.Fatalf("%s not monotone at %v", name, v)
+			}
+			prev = y
+		}
+	}
+}
+
+func TestSizingResidualShift(t *testing.T) {
+	// Paper anchors: −18.01% at ×1, −5.23% at ×32 (VDD = 0.8).
+	if got := SizingResidualShift(0.8, 1); math.Abs(got+0.1801) > 1e-9 {
+		t.Fatalf("×1 shift = %v", got)
+	}
+	if got := SizingResidualShift(0.8, 32); math.Abs(got+0.0523) > 1e-9 {
+		t.Fatalf("×32 shift = %v", got)
+	}
+	// Nominal supply: no shift regardless of sizing.
+	if got := SizingResidualShift(1.0, 32); got != 0 {
+		t.Fatalf("nominal shift = %v", got)
+	}
+	// 1.2 V anchors: +17.14% at ×1, +3.2% at ×32.
+	if got := SizingResidualShift(1.2, 32); math.Abs(got-0.032) > 1e-9 {
+		t.Fatalf("×32 at 1.2 V = %v", got)
+	}
+	// Upsizing monotonically shrinks the low-VDD shift magnitude.
+	prev := math.Abs(SizingResidualShift(0.8, 1))
+	for _, wl := range []float64{2, 4, 8, 16, 32} {
+		cur := math.Abs(SizingResidualShift(0.8, wl))
+		if cur >= prev {
+			t.Fatalf("shift magnitude should shrink at ×%v: %v >= %v", wl, cur, prev)
+		}
+		prev = cur
+	}
+	// Below ×1 clamps to ×1.
+	if SizingResidualShift(0.8, 0.5) != SizingResidualShift(0.8, 1) {
+		t.Fatal("W/L below 1 should clamp")
+	}
+}
+
+func TestBandgapResidualRatio(t *testing.T) {
+	if got := BandgapResidualRatio(1.0); got != 1 {
+		t.Fatalf("nominal residual = %v", got)
+	}
+	// ±0.56% anchor over a 150 mV excursion.
+	dev := math.Abs(BandgapResidualRatio(0.85) - 1)
+	if math.Abs(dev-0.0056) > 1e-9 {
+		t.Fatalf("residual at 0.85 V = %v, want 0.0056", dev)
+	}
+	// Far smaller than the undefended ±18%.
+	if d := math.Abs(BandgapResidualRatio(0.8) - 1); d > 0.01 {
+		t.Fatalf("bandgap residual too large: %v", d)
+	}
+}
+
+func TestNeuronKindString(t *testing.T) {
+	if AxonHillock.String() != "axon-hillock" || IAF.String() != "iaf" {
+		t.Fatal("NeuronKind strings changed")
+	}
+}

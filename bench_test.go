@@ -11,6 +11,7 @@ package snnfi_test
 // as a regression record of the reproduction.
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -20,6 +21,7 @@ import (
 	"snnfi/internal/mnist"
 	"snnfi/internal/neuron"
 	"snnfi/internal/power"
+	"snnfi/internal/runner"
 	"snnfi/internal/snn"
 	"snnfi/internal/spice"
 	"snnfi/internal/tensor"
@@ -43,6 +45,15 @@ func benchExperiment(b *testing.B) *core.Experiment {
 		b.Fatal(err)
 	}
 	return e
+}
+
+// resetCache forces the next iteration to retrain: without it the
+// experiment's persistent result cache would turn every iteration
+// after the first into a map lookup and the bench would stop
+// measuring training cost. (BenchmarkRunner_CachedSweep measures the
+// warm path deliberately.)
+func resetCache(e *core.Experiment) {
+	e.Cache = runner.NewMemoryCache[*core.Result]()
 }
 
 // --- Circuit-level figures ---
@@ -140,11 +151,13 @@ func BenchmarkFig7b_Attack1ThetaSweep(b *testing.B) {
 	b.ResetTimer()
 	var worst float64
 	for i := 0; i < b.N; i++ {
+		resetCache(e)
 		pts, err := e.Attack1Sweep([]float64{-20, 20})
 		if err != nil {
 			b.Fatal(err)
 		}
-		worst = core.WorstCase(pts).Result.RelChangePc // paper: −1.5%
+		wp, _ := core.WorstCase(pts)
+		worst = wp.Result.RelChangePc // paper: −1.5%
 	}
 	b.ReportMetric(worst, "worst_rel_pc")
 }
@@ -154,11 +167,13 @@ func BenchmarkFig8a_Attack2ELGrid(b *testing.B) {
 	b.ResetTimer()
 	var worst float64
 	for i := 0; i < b.N; i++ {
+		resetCache(e)
 		pts, err := e.LayerGrid(core.Excitatory, []float64{-20}, []float64{50, 100})
 		if err != nil {
 			b.Fatal(err)
 		}
-		worst = core.WorstCase(pts).Result.RelChangePc // paper: −7.32%
+		wp, _ := core.WorstCase(pts)
+		worst = wp.Result.RelChangePc // paper: −7.32%
 	}
 	b.ReportMetric(worst, "worst_rel_pc")
 }
@@ -168,11 +183,13 @@ func BenchmarkFig8b_Attack3ILGrid(b *testing.B) {
 	b.ResetTimer()
 	var worst float64
 	for i := 0; i < b.N; i++ {
+		resetCache(e)
 		pts, err := e.LayerGrid(core.Inhibitory, []float64{-20}, []float64{50, 100})
 		if err != nil {
 			b.Fatal(err)
 		}
-		worst = core.WorstCase(pts).Result.RelChangePc // paper: −84.52%
+		wp, _ := core.WorstCase(pts)
+		worst = wp.Result.RelChangePc // paper: −84.52%
 	}
 	b.ReportMetric(worst, "worst_rel_pc")
 }
@@ -182,11 +199,13 @@ func BenchmarkFig8c_Attack4BothLayers(b *testing.B) {
 	b.ResetTimer()
 	var worst float64
 	for i := 0; i < b.N; i++ {
+		resetCache(e)
 		pts, err := e.Attack4Sweep([]float64{-20, 20})
 		if err != nil {
 			b.Fatal(err)
 		}
-		worst = core.WorstCase(pts).Result.RelChangePc // paper: −85.65%
+		wp, _ := core.WorstCase(pts)
+		worst = wp.Result.RelChangePc // paper: −85.65%
 	}
 	b.ReportMetric(worst, "worst_rel_pc")
 }
@@ -196,11 +215,13 @@ func BenchmarkFig9a_Attack5VDDSweep(b *testing.B) {
 	b.ResetTimer()
 	var worst float64
 	for i := 0; i < b.N; i++ {
+		resetCache(e)
 		pts, err := e.Attack5Sweep([]float64{0.8, 1.2}, xfer.IAF)
 		if err != nil {
 			b.Fatal(err)
 		}
-		worst = core.WorstCase(pts).Result.RelChangePc // paper: −84.93%
+		wp, _ := core.WorstCase(pts)
+		worst = wp.Result.RelChangePc // paper: −84.93%
 	}
 	b.ReportMetric(worst, "worst_rel_pc")
 }
@@ -227,6 +248,7 @@ func BenchmarkFig9c_SizingDefense(b *testing.B) {
 	b.ResetTimer()
 	var recovered float64
 	for i := 0; i < b.N; i++ {
+		resetCache(e)
 		res, err := e.Run(defense.Sizing{WLMultiple: 32}.Harden(plan))
 		if err != nil {
 			b.Fatal(err)
@@ -283,6 +305,7 @@ func BenchmarkD2_BandgapDefense(b *testing.B) {
 	b.ResetTimer()
 	var recovered float64
 	for i := 0; i < b.N; i++ {
+		resetCache(e)
 		res, err := e.Run(defense.BandgapThreshold{Kind: xfer.IAF}.Harden(plan))
 		if err != nil {
 			b.Fatal(err)
@@ -354,6 +377,60 @@ func BenchmarkAblation_SparseVsDense(b *testing.B) {
 			m.MulVec(dense, out, true)
 		}
 	})
+}
+
+// --- Campaign runner benches ---
+
+// BenchmarkRunner_LayerGridWorkers runs the Fig. 8b grid through the
+// campaign pool at several widths. On a machine with ≥4 cores the
+// workers=4 case should be ≥2× faster than workers=1 (training is
+// embarrassingly parallel); results are identical at every width. The
+// cache is replaced each iteration so every cell really retrains.
+func BenchmarkRunner_LayerGridWorkers(b *testing.B) {
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			e := benchExperiment(b)
+			e.Workers = w
+			b.ResetTimer()
+			var worst float64
+			for i := 0; i < b.N; i++ {
+				resetCache(e)
+				pts, err := e.LayerGrid(core.Inhibitory, []float64{-20, 20}, []float64{25, 50, 75, 100})
+				if err != nil {
+					b.Fatal(err)
+				}
+				wp, _ := core.WorstCase(pts)
+				worst = wp.Result.RelChangePc
+			}
+			b.ReportMetric(worst, "worst_rel_pc")
+		})
+	}
+}
+
+// BenchmarkRunner_CachedSweep measures a fully warm sweep: every cell
+// is served from the content-addressed result cache, so this is the
+// per-sweep overhead of the runner itself (job building, hashing,
+// pool scheduling).
+func BenchmarkRunner_CachedSweep(b *testing.B) {
+	e := benchExperiment(b)
+	sweep := func() error {
+		_, err := e.LayerGrid(core.Inhibitory, []float64{-20, 20}, []float64{25, 50, 75, 100})
+		return err
+	}
+	if err := sweep(); err != nil {
+		b.Fatal(err)
+	}
+	before := e.TrainCount()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sweep(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if e.TrainCount() != before {
+		b.Fatal("warm sweep must not retrain")
+	}
 }
 
 // --- End-to-end throughput benches ---

@@ -5,9 +5,17 @@
 // Usage:
 //
 //	figures [-exp all|F3,F5b,F8b,...] [-n 1000] [-data DIR] [-out results]
+//	        [-workers N] [-jsonl FILE] [-progress]
 //
 // Experiment IDs: F3 F4 F5b F5c F6a F6b F6c F7b F8a F8b F8c F9a F9b F9c
 // F10a F10c D1 D2.
+//
+// Network sweeps execute on internal/runner's worker pool: -workers
+// sizes it (0 = all CPUs), -progress logs each completed sweep cell to
+// stderr, and -jsonl streams every sweep point to a JSON-lines file in
+// addition to the per-figure CSVs. Repeated attack configurations
+// (shared baselines, re-run figures) are served from the result cache
+// instead of retraining.
 package main
 
 import (
@@ -21,6 +29,7 @@ import (
 	"snnfi/internal/defense"
 	"snnfi/internal/neuron"
 	"snnfi/internal/power"
+	"snnfi/internal/runner"
 	"snnfi/internal/snn"
 	"snnfi/internal/spice"
 	"snnfi/internal/xfer"
@@ -28,17 +37,38 @@ import (
 
 func main() {
 	var (
-		expFlag = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
-		nImages = flag.Int("n", 1000, "training images per attack configuration")
-		dataDir = flag.String("data", "", "optional real-MNIST directory (IDX files)")
-		outDir  = flag.String("out", "results", "output directory for CSV series")
+		expFlag  = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		nImages  = flag.Int("n", 1000, "training images per attack configuration")
+		dataDir  = flag.String("data", "", "optional real-MNIST directory (IDX files)")
+		outDir   = flag.String("out", "results", "output directory for CSV series")
+		workers  = flag.Int("workers", 0, "sweep worker-pool size (0 = all CPUs)")
+		jsonl    = flag.String("jsonl", "", "optional JSONL file streaming every sweep point")
+		progress = flag.Bool("progress", false, "log each completed sweep cell to stderr")
 	)
 	flag.Parse()
 
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		fatal(err)
 	}
-	r := &runner{nImages: *nImages, dataDir: *dataDir, outDir: *outDir}
+	r := &figRunner{nImages: *nImages, dataDir: *dataDir, outDir: *outDir, workers: *workers}
+	if *progress {
+		r.progress = func(p runner.Progress) {
+			note := ""
+			if p.CacheHit {
+				note = " (cached)"
+			}
+			fmt.Fprintf(os.Stderr, "  [%d/%d] %s%s\n", p.Done, p.Total, p.Label, note)
+		}
+	}
+	var sink *runner.JSONLSink
+	if *jsonl != "" {
+		f, err := os.Create(*jsonl)
+		if err != nil {
+			fatal(err)
+		}
+		sink = runner.NewJSONLSink(f)
+		r.sinks = []runner.Sink{sink}
+	}
 
 	all := []string{"F3", "F4", "F5b", "F5c", "F6a", "F6b", "F6c", "F7b", "F8a", "F8b", "F8c", "F9a", "F9b", "F9c", "F10a", "F10c", "D1", "D2", "D3", "E1", "E2"}
 	want := map[string]bool{}
@@ -51,15 +81,30 @@ func main() {
 			want[strings.TrimSpace(id)] = true
 		}
 	}
+	err := runExperiments(r, all, want)
+	if sink != nil {
+		// Close even when an experiment failed, so records streamed by
+		// the sweeps that did complete reach disk.
+		if cerr := sink.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func runExperiments(r *figRunner, all []string, want map[string]bool) error {
 	for _, id := range all {
 		if !want[id] {
 			continue
 		}
 		fmt.Printf("\n===== %s =====\n", id)
 		if err := r.run(id); err != nil {
-			fatal(fmt.Errorf("%s: %w", id, err))
+			return fmt.Errorf("%s: %w", id, err)
 		}
 	}
+	return nil
 }
 
 func fatal(err error) {
@@ -67,15 +112,18 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-type runner struct {
-	nImages int
-	dataDir string
-	outDir  string
+type figRunner struct {
+	nImages  int
+	dataDir  string
+	outDir   string
+	workers  int
+	progress func(runner.Progress)
+	sinks    []runner.Sink
 
 	exp *core.Experiment // lazily built, shared across network experiments
 }
 
-func (r *runner) experiment() (*core.Experiment, error) {
+func (r *figRunner) experiment() (*core.Experiment, error) {
 	if r.exp != nil {
 		return r.exp, nil
 	}
@@ -83,6 +131,9 @@ func (r *runner) experiment() (*core.Experiment, error) {
 	if err != nil {
 		return nil, err
 	}
+	e.Workers = r.workers
+	e.OnProgress = r.progress
+	e.Sinks = r.sinks
 	base, err := e.Baseline()
 	if err != nil {
 		return nil, err
@@ -92,7 +143,7 @@ func (r *runner) experiment() (*core.Experiment, error) {
 	return e, nil
 }
 
-func (r *runner) csv(name, header string, rows [][]float64) error {
+func (r *figRunner) csv(name, header string, rows [][]float64) error {
 	f, err := os.Create(filepath.Join(r.outDir, name))
 	if err != nil {
 		return err
@@ -109,7 +160,7 @@ func (r *runner) csv(name, header string, rows [][]float64) error {
 	return nil
 }
 
-func (r *runner) run(id string) error {
+func (r *figRunner) run(id string) error {
 	switch id {
 	case "F3":
 		return r.fig3()
@@ -159,7 +210,7 @@ func (r *runner) run(id string) error {
 }
 
 // fig3: Axon Hillock transient waveforms (Iin, Vmem, Vout).
-func (r *runner) fig3() error {
+func (r *figRunner) fig3() error {
 	ah := neuron.NewAxonHillock()
 	res, err := ah.Simulate(20e-6, 10e-9)
 	if err != nil {
@@ -177,7 +228,7 @@ func (r *runner) fig3() error {
 }
 
 // fig4: I&F transient waveforms (Vmem).
-func (r *runner) fig4() error {
+func (r *figRunner) fig4() error {
 	n := neuron.NewIAF()
 	res, err := n.Simulate(150e-6, 10e-9)
 	if err != nil {
@@ -200,7 +251,7 @@ func (r *runner) fig4() error {
 func vddSweep() []float64 { return []float64{0.8, 0.9, 1.0, 1.1, 1.2} }
 
 // fig5b: driver amplitude vs VDD, spice-measured and paper-anchored.
-func (r *runner) fig5b() error {
+func (r *figRunner) fig5b() error {
 	pts, err := neuron.DriverAmplitudeVsVDD(vddSweep())
 	if err != nil {
 		return err
@@ -219,7 +270,7 @@ func (r *runner) fig5b() error {
 }
 
 // fig5c: time-to-spike vs input amplitude for both neurons.
-func (r *runner) fig5c() error {
+func (r *figRunner) fig5c() error {
 	amps := []float64{136e-9, 168e-9, 200e-9, 232e-9, 264e-9}
 	ah, err := neuron.AHTimeToSpikeVsAmplitude(amps)
 	if err != nil {
@@ -241,7 +292,7 @@ func (r *runner) fig5c() error {
 }
 
 // fig6a: membrane threshold vs VDD for both neurons.
-func (r *runner) fig6a() error {
+func (r *figRunner) fig6a() error {
 	ah, err := neuron.AHThresholdVsVDD(vddSweep())
 	if err != nil {
 		return err
@@ -259,10 +310,10 @@ func (r *runner) fig6a() error {
 }
 
 // fig6b/fig6c: time-to-spike vs VDD.
-func (r *runner) fig6b() error { return r.ttsVsVDD("F6b", xfer.AxonHillock) }
-func (r *runner) fig6c() error { return r.ttsVsVDD("F6c", xfer.IAF) }
+func (r *figRunner) fig6b() error { return r.ttsVsVDD("F6b", xfer.AxonHillock) }
+func (r *figRunner) fig6c() error { return r.ttsVsVDD("F6c", xfer.IAF) }
 
-func (r *runner) ttsVsVDD(id string, kind xfer.NeuronKind) error {
+func (r *figRunner) ttsVsVDD(id string, kind xfer.NeuronKind) error {
 	var pts []neuron.Point
 	var err error
 	if kind == xfer.IAF {
@@ -286,7 +337,7 @@ func (r *runner) ttsVsVDD(id string, kind xfer.NeuronKind) error {
 }
 
 // fig7b: Attack 1 theta sweep.
-func (r *runner) fig7b() error {
+func (r *figRunner) fig7b() error {
 	e, err := r.experiment()
 	if err != nil {
 		return err
@@ -305,7 +356,7 @@ func (r *runner) fig7b() error {
 }
 
 // layerGrid: Attack 2 (F8a) / Attack 3 (F8b) grids.
-func (r *runner) layerGrid(id string, layer core.Layer) error {
+func (r *figRunner) layerGrid(id string, layer core.Layer) error {
 	e, err := r.experiment()
 	if err != nil {
 		return err
@@ -328,15 +379,16 @@ func (r *runner) layerGrid(id string, layer core.Layer) error {
 		}
 		fmt.Println()
 	}
-	worst := core.WorstCase(pts)
-	fmt.Printf("worst case: %+.2f%% at Δthr=%+.0f%%, fraction=%.0f%%\n",
-		worst.Result.RelChangePc, worst.ScalePc, worst.FractionPc)
+	if worst, ok := core.WorstCase(pts); ok {
+		fmt.Printf("worst case: %+.2f%% at Δthr=%+.0f%%, fraction=%.0f%%\n",
+			worst.Result.RelChangePc, worst.ScalePc, worst.FractionPc)
+	}
 	return r.csv(fmt.Sprintf("fig%s_attack_%v_grid.csv", strings.ToLower(id[1:]), layer),
 		"thr_change_pc,fraction_pc,accuracy_pc,rel_change_pc", rows)
 }
 
 // fig8c: Attack 4 both-layer sweep.
-func (r *runner) fig8c() error {
+func (r *figRunner) fig8c() error {
 	e, err := r.experiment()
 	if err != nil {
 		return err
@@ -355,7 +407,7 @@ func (r *runner) fig8c() error {
 }
 
 // fig9a: Attack 5 VDD sweep.
-func (r *runner) fig9a() error {
+func (r *figRunner) fig9a() error {
 	e, err := r.experiment()
 	if err != nil {
 		return err
@@ -374,7 +426,7 @@ func (r *runner) fig9a() error {
 }
 
 // fig9b: robust driver amplitude vs VDD.
-func (r *runner) fig9b() error {
+func (r *figRunner) fig9b() error {
 	unsec, err := neuron.DriverAmplitudeVsVDD(vddSweep())
 	if err != nil {
 		return err
@@ -395,7 +447,7 @@ func (r *runner) fig9b() error {
 }
 
 // fig9c: sizing sweep + defended accuracy at 0.8 V.
-func (r *runner) fig9c() error {
+func (r *figRunner) fig9c() error {
 	ratios := []float64{1, 2, 4, 8, 16, 32}
 	pts, err := neuron.AHThresholdVsSizing(0.8, ratios)
 	if err != nil {
@@ -434,7 +486,7 @@ func (r *runner) fig9c() error {
 }
 
 // fig10a: comparator neuron threshold and timing vs VDD.
-func (r *runner) fig10a() error {
+func (r *figRunner) fig10a() error {
 	vdds := []float64{0.8, 1.0, 1.2}
 	thr := make([]float64, len(vdds))
 	tts := make([]float64, len(vdds))
@@ -461,7 +513,7 @@ func (r *runner) fig10a() error {
 }
 
 // fig10c: dummy-neuron detection sweep.
-func (r *runner) fig10c() error {
+func (r *figRunner) fig10c() error {
 	for _, kind := range []xfer.NeuronKind{xfer.AxonHillock, xfer.IAF} {
 		det := defense.NewDetector(kind)
 		fmt.Printf("dummy %v (window %.0f ms, trigger ±%.0f%%):\n", kind, det.WindowMs, det.ThresholdPc)
@@ -482,7 +534,7 @@ func (r *runner) fig10c() error {
 }
 
 // tableD1: defense overhead table.
-func (r *runner) tableD1() error {
+func (r *figRunner) tableD1() error {
 	fmt.Println("defense overheads for the paper's 200-neuron implementation (100/layer):")
 	rows := [][]float64{}
 	for i, row := range power.OverheadTable(200, 100) {
@@ -501,7 +553,7 @@ func (r *runner) tableD1() error {
 
 // tableD3: dummy-neuron detection coverage of the black-box attack —
 // does the detector flag every VDD point that damages accuracy?
-func (r *runner) tableD3() error {
+func (r *figRunner) tableD3() error {
 	e, err := r.experiment()
 	if err != nil {
 		return err
@@ -527,7 +579,7 @@ func (r *runner) tableD3() error {
 
 // extWeightFault: extension experiment E1 — synaptic-weight drift, the
 // first asset §IV-E1 lists but does not study.
-func (r *runner) extWeightFault() error {
+func (r *figRunner) extWeightFault() error {
 	e, err := r.experiment()
 	if err != nil {
 		return err
@@ -552,7 +604,7 @@ func (r *runner) extWeightFault() error {
 
 // extLearningRate: extension experiment E2 — STDP learning-rate
 // corruption, the second unstudied asset of §IV-E1.
-func (r *runner) extLearningRate() error {
+func (r *figRunner) extLearningRate() error {
 	e, err := r.experiment()
 	if err != nil {
 		return err
@@ -571,7 +623,7 @@ func (r *runner) extLearningRate() error {
 }
 
 // tableD2: bandgap defense accuracy recovery.
-func (r *runner) tableD2() error {
+func (r *figRunner) tableD2() error {
 	e, err := r.experiment()
 	if err != nil {
 		return err

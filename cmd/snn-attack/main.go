@@ -11,6 +11,9 @@
 // Attacks: 1 (driver theta), 2 (excitatory threshold), 3 (inhibitory
 // threshold), 4 (both layers), 5 (black-box VDD).
 // Defenses: none, robust-driver, bandgap, sizing, comparator.
+//
+// Execution routes through internal/runner's campaign pool: -workers
+// sizes it and -jsonl appends the result as a JSON-lines record.
 package main
 
 import (
@@ -20,11 +23,21 @@ import (
 
 	"snnfi/internal/core"
 	"snnfi/internal/defense"
+	"snnfi/internal/runner"
 	"snnfi/internal/snn"
 	"snnfi/internal/xfer"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "snn-attack:", err)
+		os.Exit(1)
+	}
+}
+
+// run returns instead of exiting so deferred cleanup (flushing the
+// JSONL sink) executes on every path.
+func run() (retErr error) {
 	var (
 		attack   = flag.Int("attack", 3, "attack number (1-5)")
 		changePc = flag.Float64("change", -20, "parameter change in percent (attacks 1-4)")
@@ -33,6 +46,8 @@ func main() {
 		nImages  = flag.Int("n", 1000, "training images")
 		dataDir  = flag.String("data", "", "optional real-MNIST directory")
 		defName  = flag.String("defense", "none", "defense: none|robust-driver|bandgap|sizing|comparator")
+		workers  = flag.Int("workers", 0, "campaign worker-pool size (0 = all CPUs)")
+		jsonl    = flag.String("jsonl", "", "optional JSONL file recording the result")
 	)
 	flag.Parse()
 
@@ -49,7 +64,7 @@ func main() {
 	case 5:
 		plan = core.NewAttack5(*vdd, xfer.IAF)
 	default:
-		fatal(fmt.Errorf("unknown attack %d (want 1-5)", *attack))
+		return fmt.Errorf("unknown attack %d (want 1-5)", *attack)
 	}
 
 	var def defense.Defense
@@ -64,7 +79,7 @@ func main() {
 	case "comparator":
 		def = defense.ComparatorNeuron{}
 	default:
-		fatal(fmt.Errorf("unknown defense %q", *defName))
+		return fmt.Errorf("unknown defense %q", *defName)
 	}
 	if def != nil {
 		plan = def.Harden(plan)
@@ -72,26 +87,37 @@ func main() {
 
 	exp, err := core.NewExperiment(*dataDir, *nImages, snn.DefaultConfig())
 	if err != nil {
-		fatal(err)
+		return err
+	}
+	exp.Workers = *workers
+	if *jsonl != "" {
+		f, err := os.Create(*jsonl)
+		if err != nil {
+			return err
+		}
+		sink := runner.NewJSONLSink(f)
+		defer func() {
+			if err := sink.Close(); retErr == nil {
+				retErr = err
+			}
+		}()
+		exp.Sinks = []runner.Sink{sink}
 	}
 	base, err := exp.Baseline()
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	fmt.Printf("plan: %s\n", plan.Name)
 	for _, f := range plan.Faults {
 		fmt.Printf("  %-12v scale %.4f over %.0f%% of the layer\n", f.Layer, f.Scale, 100*f.Fraction)
 	}
-	res, err := exp.Run(plan)
+	results, err := exp.RunPlans([]*core.FaultPlan{plan})
 	if err != nil {
-		fatal(err)
+		return err
 	}
+	res := results[0]
 	fmt.Printf("baseline accuracy: %.2f%%\n", 100*base)
 	fmt.Printf("attacked accuracy: %.2f%%\n", 100*res.Accuracy)
 	fmt.Printf("relative change:   %+.2f%%\n", res.RelChangePc)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "snn-attack:", err)
-	os.Exit(1)
+	return nil
 }

@@ -7,8 +7,11 @@
 //
 // The implementation lives under internal/; the supported entry points
 // are the commands under cmd/ (figures, snn-train, snn-attack,
-// spice-sim) and the runnable examples under examples/. bench_test.go
-// in this directory regenerates every figure and table as a testing.B
-// benchmark; see DESIGN.md for the experiment index and EXPERIMENTS.md
-// for paper-versus-measured numbers.
+// spice-sim) and the runnable examples under examples/. Campaign
+// sweeps execute on internal/runner's parallel worker pool with a
+// content-addressed result cache and streaming JSONL/CSV sinks;
+// results are identical at any worker count. bench_test.go in this
+// directory regenerates every figure and table as a testing.B
+// benchmark; see DESIGN.md for the experiment index and the runner
+// design, and EXPERIMENTS.md for paper-versus-measured numbers.
 package snnfi

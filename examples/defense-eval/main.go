@@ -3,12 +3,17 @@
 // the paper's §V countermeasures, and print the recovered accuracy next
 // to the defense's power/area overhead.
 //
+// All five configurations (undefended + four defenses) are independent
+// training runs, so they execute in parallel on internal/runner's
+// worker pool via Experiment.RunPlans.
+//
 // Run with: go run ./examples/defense-eval
 package main
 
 import (
 	"fmt"
 	"log"
+	"runtime"
 
 	"snnfi/internal/core"
 	"snnfi/internal/defense"
@@ -26,30 +31,32 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	exp.Workers = runtime.GOMAXPROCS(0)
 	base, err := exp.Baseline()
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	attack := core.NewAttack5(0.8, xfer.IAF)
-	undefended, err := exp.Run(attack)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("baseline: %.1f%%   under black-box VDD=0.8 attack: %.1f%% (%+.1f%%)\n\n",
-		100*base, 100*undefended.Accuracy, undefended.RelChangePc)
-
 	defenses := []defense.Defense{
 		defense.RobustDriver{ResidualPc: 0.1},
 		defense.BandgapThreshold{Kind: xfer.IAF},
 		defense.Sizing{WLMultiple: 32},
 		defense.ComparatorNeuron{},
 	}
+	plans := []*core.FaultPlan{attack}
 	for _, d := range defenses {
-		res, err := exp.Run(d.Harden(attack))
-		if err != nil {
-			log.Fatal(err)
-		}
+		plans = append(plans, d.Harden(attack))
+	}
+	results, err := exp.RunPlans(plans)
+	if err != nil {
+		log.Fatal(err)
+	}
+	undefended := results[0]
+	fmt.Printf("baseline: %.1f%%   under black-box VDD=0.8 attack: %.1f%% (%+.1f%%)\n\n",
+		100*base, 100*undefended.Accuracy, undefended.RelChangePc)
+	for i, d := range defenses {
+		res := results[i+1]
 		fmt.Printf("%-28s accuracy %.1f%% (%+.1f%%)\n", d.Name(), 100*res.Accuracy, res.RelChangePc)
 	}
 

@@ -1,0 +1,3 @@
+module snnfi
+
+go 1.24

@@ -1,10 +1,15 @@
 package core
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"snnfi/internal/encoding"
 	"snnfi/internal/mnist"
+	"snnfi/internal/runner"
 	"snnfi/internal/snn"
 	"snnfi/internal/xfer"
 )
@@ -14,13 +19,40 @@ import (
 // on identical spike trains and differs only in the injected fault —
 // the paper's protocol (train under attack, report accuracy relative to
 // the attack-free baseline).
+//
+// Sweeps execute on a worker pool (internal/runner): each sweep cell is
+// an independent job, results are collected in cell order, and a
+// content-addressed cache keyed by (experiment fingerprint, plan)
+// skips retraining for repeated configurations. Data fields must be
+// fixed before the first Run/Baseline/sweep call; the runner knobs
+// (Workers, OnProgress, Sinks) may be adjusted between sweeps.
 type Experiment struct {
 	Images  []mnist.Image
 	Cfg     snn.DiehlCookConfig
 	EncSeed int64
 
-	baseline float64
-	haveBase bool
+	// Workers sizes the sweep worker pool; ≤0 uses all CPUs
+	// (runtime.GOMAXPROCS). Results are identical at every width.
+	Workers int
+	// OnProgress, when non-nil, observes each completed sweep cell.
+	OnProgress func(runner.Progress)
+	// Sinks receive one record per sweep point, streamed in sweep
+	// order regardless of worker count.
+	Sinks []runner.Sink
+	// Cache memoizes trained results by content address so repeated
+	// configurations (the shared baseline, re-run sweeps) skip
+	// retraining. NewExperiment installs one; experiments over the
+	// same data may share a cache safely because keys cover the full
+	// experiment fingerprint.
+	Cache *runner.MemoryCache[*Result]
+
+	baseMu  sync.Mutex
+	baseRes *Result
+
+	fpOnce sync.Once
+	fp     string
+
+	trains atomic.Int64
 }
 
 // NewExperiment prepares a campaign over n digit images. dataDir may
@@ -31,7 +63,12 @@ func NewExperiment(dataDir string, n int, cfg snn.DiehlCookConfig) (*Experiment,
 	if err != nil {
 		return nil, err
 	}
-	return &Experiment{Images: images, Cfg: cfg, EncSeed: 42}, nil
+	return &Experiment{
+		Images:  images,
+		Cfg:     cfg,
+		EncSeed: 42,
+		Cache:   runner.NewMemoryCache[*Result](),
+	}, nil
 }
 
 // Result is one attack configuration's outcome.
@@ -43,9 +80,31 @@ type Result struct {
 	TotalSpikes float64
 }
 
-// Run trains a fresh network under the given plan (nil for the
-// attack-free baseline) and scores it.
-func (e *Experiment) Run(plan *FaultPlan) (*Result, error) {
+// fingerprint content-addresses the experiment: the image corpus, the
+// network configuration and the encoder seed. Everything a trained
+// result depends on besides the fault plan.
+func (e *Experiment) fingerprint() string {
+	e.fpOnce.Do(func() {
+		h := sha256.New()
+		for i := range e.Images {
+			h.Write(e.Images[i].Pixels[:])
+			h.Write([]byte{e.Images[i].Label})
+		}
+		e.fp = runner.KeyOf("experiment-v1", e.Cfg, e.EncSeed, len(e.Images), hex.EncodeToString(h.Sum(nil)))
+	})
+	return e.fp
+}
+
+// planKey is the content address of one trained configuration.
+func (e *Experiment) planKey(plan *FaultPlan) string {
+	return runner.KeyOf(e.fingerprint(), plan)
+}
+
+// train trains one fresh network under plan (nil = attack-free) and
+// returns its raw score. Safe for concurrent use: every call builds
+// its own network and encoder from the experiment's fixed seeds.
+func (e *Experiment) train(plan *FaultPlan) (*snn.TrainResult, error) {
+	e.trains.Add(1)
 	n, err := snn.NewDiehlCook(e.Cfg)
 	if err != nil {
 		return nil, err
@@ -58,7 +117,39 @@ func (e *Experiment) Run(plan *FaultPlan) (*Result, error) {
 		defer revert()
 	}
 	enc := encoding.NewPoissonEncoder(e.EncSeed)
-	res, err := snn.Train(n, e.Images, enc)
+	return snn.Train(n, e.Images, enc)
+}
+
+// TrainCount reports how many networks the experiment has trained so
+// far — the unit of work the result cache exists to avoid.
+func (e *Experiment) TrainCount() int64 { return e.trains.Load() }
+
+// Run trains a fresh network under the given plan (nil for the
+// attack-free baseline) and scores it against the baseline. Results
+// are served from the cache when the same configuration was already
+// trained.
+func (e *Experiment) Run(plan *FaultPlan) (*Result, error) {
+	if plan == nil {
+		return e.baselineResult()
+	}
+	key := e.planKey(plan)
+	if r, ok := e.Cache.Get(key); ok {
+		return r, nil
+	}
+	r, err := e.runUncached(plan)
+	if err != nil {
+		return nil, err
+	}
+	e.Cache.Put(key, r)
+	return r, nil
+}
+
+// runUncached trains and scores one attacked configuration without
+// consulting the cache. Sweep jobs call it directly: the campaign
+// pool owns the single Get/Put for them, so a cell is looked up and
+// stored exactly once per execution.
+func (e *Experiment) runUncached(plan *FaultPlan) (*Result, error) {
+	res, err := e.train(plan)
 	if err != nil {
 		return nil, err
 	}
@@ -80,21 +171,39 @@ func (e *Experiment) Run(plan *FaultPlan) (*Result, error) {
 
 // Baseline returns (computing once) the attack-free accuracy.
 func (e *Experiment) Baseline() (float64, error) {
-	if e.haveBase {
-		return e.baseline, nil
-	}
-	n, err := snn.NewDiehlCook(e.Cfg)
+	r, err := e.baselineResult()
 	if err != nil {
 		return 0, err
 	}
-	enc := encoding.NewPoissonEncoder(e.EncSeed)
-	res, err := snn.Train(n, e.Images, enc)
-	if err != nil {
-		return 0, err
+	return r.Accuracy, nil
+}
+
+// baselineResult memoizes the attack-free run. The lock is held across
+// training so concurrent sweep workers wait for one computation
+// instead of racing to retrain.
+func (e *Experiment) baselineResult() (*Result, error) {
+	e.baseMu.Lock()
+	defer e.baseMu.Unlock()
+	if e.baseRes != nil {
+		return e.baseRes, nil
 	}
-	e.baseline = res.Accuracy
-	e.haveBase = true
-	return e.baseline, nil
+	key := e.planKey(nil)
+	if r, ok := e.Cache.Get(key); ok {
+		e.baseRes = r
+		return r, nil
+	}
+	res, err := e.train(nil)
+	if err != nil {
+		return nil, err
+	}
+	r := &Result{
+		Accuracy:    res.Accuracy,
+		Baseline:    res.Accuracy,
+		TotalSpikes: res.TotalSpikes,
+	}
+	e.Cache.Put(key, r)
+	e.baseRes = r
+	return r, nil
 }
 
 // SweepPoint is one cell of a campaign sweep.
@@ -105,82 +214,221 @@ type SweepPoint struct {
 	Result     *Result
 }
 
+// campaignJob is one sweep cell before execution: the cell's
+// coordinates, the fault plan built for them, and the description used
+// in error wrapping. The encoder seed is deliberately NOT part of the
+// cell — the paper's protocol trains every configuration on identical
+// spike trains, so all cells share the experiment's EncSeed (a
+// campaign needing per-cell randomness would derive child seeds with
+// runner.DeriveSeed instead).
+type campaignJob struct {
+	point SweepPoint
+	plan  *FaultPlan
+	desc  string
+}
+
+// gridMaskSeed fixes which neurons a partial-layer glitch hits, shared
+// across all grid cells (and cmd/snn-attack) so fractions nest.
+const gridMaskSeed = 99
+
+// runCampaign executes the cells on the worker pool, collecting
+// results in cell order, streaming one record per point to Sinks, and
+// reporting completions to OnProgress. coords says whether the cells
+// carry sweep coordinates (grids and sweeps) or are ad-hoc plans
+// (RunPlans), whose records omit the meaningless coordinate fields.
+// The output is byte-identical to serial execution at any worker
+// count.
+func (e *Experiment) runCampaign(name string, coords bool, cells []campaignJob) ([]SweepPoint, error) {
+	if len(cells) == 0 {
+		return nil, nil
+	}
+	// Train the shared baseline before fanning out: every cell scores
+	// against it, and computing it up front keeps workers from queueing
+	// on the baseline lock (and keeps it trained exactly once).
+	if _, err := e.Baseline(); err != nil {
+		return nil, err
+	}
+	jobs := make([]runner.Job[*Result], len(cells))
+	for i := range cells {
+		c := cells[i]
+		jobs[i] = runner.Job[*Result]{
+			Label: c.desc,
+			Key:   e.planKey(c.plan),
+			Run: func() (*Result, error) {
+				// The pool already missed the cache for this key, so
+				// compute without a second lookup (a nil plan is the
+				// memoized baseline).
+				var r *Result
+				var err error
+				if c.plan == nil {
+					r, err = e.baselineResult()
+				} else {
+					r, err = e.runUncached(c.plan)
+				}
+				if err != nil {
+					return nil, fmt.Errorf("core: %s: %w", c.desc, err)
+				}
+				return r, nil
+			},
+		}
+	}
+	pool := &runner.Pool[*Result]{
+		Workers:    e.Workers,
+		Cache:      e.Cache,
+		OnProgress: e.OnProgress,
+	}
+	if len(e.Sinks) > 0 {
+		pool.OnResult = func(i int, r *Result, _ bool) error {
+			rec := sweepRecord(name, coords, cells[i].point, r)
+			for _, s := range e.Sinks {
+				if err := s.Write(rec); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	results, err := pool.Run(jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SweepPoint, len(cells))
+	for i, r := range results {
+		out[i] = cells[i].point
+		out[i].Result = r
+	}
+	return out, nil
+}
+
+// sweepRecord renders one sweep point for the streaming sinks. The
+// coordinate fields are included only for real sweeps — ad-hoc plan
+// lists have no grid coordinates, and zeroes would misreport them.
+func sweepRecord(sweep string, coords bool, p SweepPoint, r *Result) runner.Record {
+	planName := ""
+	if r.Plan != nil {
+		planName = r.Plan.Name
+	}
+	rec := runner.Record{
+		{Name: "sweep", Value: sweep},
+		{Name: "plan", Value: planName},
+	}
+	if coords {
+		rec = append(rec,
+			runner.Field{Name: "scale_pc", Value: p.ScalePc},
+			runner.Field{Name: "fraction_pc", Value: p.FractionPc},
+			runner.Field{Name: "vdd_v", Value: p.VDD},
+		)
+	}
+	return append(rec,
+		runner.Field{Name: "accuracy", Value: r.Accuracy},
+		runner.Field{Name: "baseline", Value: r.Baseline},
+		runner.Field{Name: "rel_change_pc", Value: r.RelChangePc},
+		runner.Field{Name: "total_spikes", Value: r.TotalSpikes},
+	)
+}
+
+// RunPlans evaluates several fault plans through the worker pool and
+// returns one result per plan, in input order. A nil plan stands for
+// the attack-free baseline, as in Run.
+func (e *Experiment) RunPlans(plans []*FaultPlan) ([]*Result, error) {
+	cells := make([]campaignJob, len(plans))
+	for i, p := range plans {
+		desc := "plan (baseline)"
+		if p != nil {
+			desc = fmt.Sprintf("plan %q", p.Name)
+		}
+		cells[i] = campaignJob{plan: p, desc: desc}
+	}
+	pts, err := e.runCampaign("plans", false, cells)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Result, len(pts))
+	for i, p := range pts {
+		out[i] = p.Result
+	}
+	return out, nil
+}
+
 // Attack1Sweep reproduces Fig. 7b: classification accuracy versus theta
 // (per-input-spike membrane charge) change.
 func (e *Experiment) Attack1Sweep(changesPc []float64) ([]SweepPoint, error) {
-	out := make([]SweepPoint, 0, len(changesPc))
+	cells := make([]campaignJob, 0, len(changesPc))
 	for _, c := range changesPc {
-		res, err := e.Run(NewAttack1(1 + c/100))
-		if err != nil {
-			return nil, fmt.Errorf("core: attack 1 at %+.0f%%: %w", c, err)
-		}
-		out = append(out, SweepPoint{ScalePc: c, FractionPc: 100, Result: res})
+		cells = append(cells, campaignJob{
+			point: SweepPoint{ScalePc: c, FractionPc: 100},
+			plan:  NewAttack1(1 + c/100),
+			desc:  fmt.Sprintf("attack 1 at %+.0f%%", c),
+		})
 	}
-	return out, nil
+	return e.runCampaign("attack1-theta", true, cells)
 }
 
 // LayerGrid reproduces Figs. 8a/8b: accuracy over threshold change ×
 // fraction-of-layer for one layer (Excitatory → Attack 2, Inhibitory →
 // Attack 3).
 func (e *Experiment) LayerGrid(layer Layer, changesPc, fractionsPc []float64) ([]SweepPoint, error) {
-	var out []SweepPoint
+	if layer != Excitatory && layer != Inhibitory {
+		return nil, fmt.Errorf("core: layer grid needs a neuron layer, got %v", layer)
+	}
+	cells := make([]campaignJob, 0, len(changesPc)*len(fractionsPc))
 	for _, c := range changesPc {
 		for _, f := range fractionsPc {
 			var plan *FaultPlan
-			switch layer {
-			case Excitatory:
-				plan = NewAttack2(1+c/100, f/100, 99)
-			case Inhibitory:
-				plan = NewAttack3(1+c/100, f/100, 99)
-			default:
-				return nil, fmt.Errorf("core: layer grid needs a neuron layer, got %v", layer)
+			if layer == Excitatory {
+				plan = NewAttack2(1+c/100, f/100, gridMaskSeed)
+			} else {
+				plan = NewAttack3(1+c/100, f/100, gridMaskSeed)
 			}
-			res, err := e.Run(plan)
-			if err != nil {
-				return nil, fmt.Errorf("core: %v grid at %+.0f%%/%.0f%%: %w", layer, c, f, err)
-			}
-			out = append(out, SweepPoint{ScalePc: c, FractionPc: f, Result: res})
+			cells = append(cells, campaignJob{
+				point: SweepPoint{ScalePc: c, FractionPc: f},
+				plan:  plan,
+				desc:  fmt.Sprintf("%v grid at %+.0f%%/%.0f%%", layer, c, f),
+			})
 		}
 	}
-	return out, nil
+	return e.runCampaign(fmt.Sprintf("layer-grid-%v", layer), true, cells)
 }
 
 // Attack4Sweep reproduces Fig. 8c: accuracy versus threshold change
 // with both layers fully affected.
 func (e *Experiment) Attack4Sweep(changesPc []float64) ([]SweepPoint, error) {
-	out := make([]SweepPoint, 0, len(changesPc))
+	cells := make([]campaignJob, 0, len(changesPc))
 	for _, c := range changesPc {
-		res, err := e.Run(NewAttack4(1 + c/100))
-		if err != nil {
-			return nil, fmt.Errorf("core: attack 4 at %+.0f%%: %w", c, err)
-		}
-		out = append(out, SweepPoint{ScalePc: c, FractionPc: 100, Result: res})
+		cells = append(cells, campaignJob{
+			point: SweepPoint{ScalePc: c, FractionPc: 100},
+			plan:  NewAttack4(1 + c/100),
+			desc:  fmt.Sprintf("attack 4 at %+.0f%%", c),
+		})
 	}
-	return out, nil
+	return e.runCampaign("attack4-both-layers", true, cells)
 }
 
 // Attack5Sweep reproduces Fig. 9a: accuracy versus VDD for the whole
 // shared-supply system.
 func (e *Experiment) Attack5Sweep(vdds []float64, kind xfer.NeuronKind) ([]SweepPoint, error) {
-	out := make([]SweepPoint, 0, len(vdds))
+	cells := make([]campaignJob, 0, len(vdds))
 	for _, v := range vdds {
-		res, err := e.Run(NewAttack5(v, kind))
-		if err != nil {
-			return nil, fmt.Errorf("core: attack 5 at VDD=%.2f: %w", v, err)
-		}
-		out = append(out, SweepPoint{VDD: v, FractionPc: 100, Result: res})
+		cells = append(cells, campaignJob{
+			point: SweepPoint{VDD: v, FractionPc: 100},
+			plan:  NewAttack5(v, kind),
+			desc:  fmt.Sprintf("attack 5 at VDD=%.2f", v),
+		})
 	}
-	return out, nil
+	return e.runCampaign("attack5-vdd", true, cells)
 }
 
 // WorstCase returns the sweep point with the most negative relative
-// accuracy change.
-func WorstCase(points []SweepPoint) SweepPoint {
-	worst := points[0]
-	for _, p := range points[1:] {
-		if p.Result.RelChangePc < worst.Result.RelChangePc {
-			worst = p
+// accuracy change. ok is false when points is empty (or no point
+// carries a result), so callers never dereference a missing result.
+func WorstCase(points []SweepPoint) (worst SweepPoint, ok bool) {
+	for _, p := range points {
+		if p.Result == nil {
+			continue
+		}
+		if !ok || p.Result.RelChangePc < worst.Result.RelChangePc {
+			worst, ok = p, true
 		}
 	}
-	return worst
+	return worst, ok
 }

@@ -264,8 +264,19 @@ func TestWorstCase(t *testing.T) {
 		{ScalePc: -20, Result: &Result{RelChangePc: -80}},
 		{ScalePc: 10, Result: &Result{RelChangePc: 2}},
 	}
-	if w := WorstCase(pts); w.ScalePc != -20 {
-		t.Fatalf("WorstCase picked %+v", w)
+	w, ok := WorstCase(pts)
+	if !ok || w.ScalePc != -20 {
+		t.Fatalf("WorstCase picked %+v (ok=%v)", w, ok)
+	}
+}
+
+func TestWorstCaseEmpty(t *testing.T) {
+	if _, ok := WorstCase(nil); ok {
+		t.Fatal("empty sweep must report ok=false")
+	}
+	// Points without results are skipped rather than dereferenced.
+	if _, ok := WorstCase([]SweepPoint{{ScalePc: -20}}); ok {
+		t.Fatal("result-less points must report ok=false")
 	}
 }
 

@@ -1,0 +1,109 @@
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash/fnv"
+	"sync"
+)
+
+// Cache memoizes job results by content-address. Implementations must
+// be safe for concurrent use.
+type Cache[T any] interface {
+	Get(key string) (T, bool)
+	Put(key string, v T)
+}
+
+// MemoryCache is an in-process Cache with hit/miss accounting. The
+// zero value and a nil pointer are both usable (a nil cache never hits
+// and drops every Put), so callers can pass caches around without
+// nil-guarding.
+type MemoryCache[T any] struct {
+	mu     sync.Mutex
+	m      map[string]T
+	hits   int64
+	misses int64
+}
+
+// NewMemoryCache returns an empty cache.
+func NewMemoryCache[T any]() *MemoryCache[T] {
+	return &MemoryCache[T]{m: make(map[string]T)}
+}
+
+// Get returns the cached value for key, if any.
+func (c *MemoryCache[T]) Get(key string) (T, bool) {
+	var zero T
+	if c == nil {
+		return zero, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.m[key]
+	if ok {
+		c.hits++
+		return v, true
+	}
+	c.misses++
+	return zero, false
+}
+
+// Put stores v under key, replacing any previous value.
+func (c *MemoryCache[T]) Put(key string, v T) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.m == nil {
+		c.m = make(map[string]T)
+	}
+	c.m[key] = v
+}
+
+// Len reports how many results the cache holds.
+func (c *MemoryCache[T]) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Stats reports lookup hits and misses since creation.
+func (c *MemoryCache[T]) Stats() (hits, misses int64) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// KeyOf content-addresses a job specification: it hashes the canonical
+// Go representation (%#v) of each part — configs, plans, seeds — into a
+// hex digest. Two specifications hash equal iff their printed
+// representations are equal, so parts should be plain data (structs,
+// slices and scalars without unexported pointers or maps).
+func KeyOf(parts ...any) string {
+	h := sha256.New()
+	for _, p := range parts {
+		fmt.Fprintf(h, "%#v\x1f", p)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// DeriveSeed deterministically derives a child seed from a base seed
+// and a set of discriminators (e.g. sweep coordinates), for campaigns
+// whose jobs need distinct but replayable randomness. The derivation
+// is pure, so replaying a campaign — at any worker count — reproduces
+// every job's seed exactly.
+func DeriveSeed(base int64, parts ...any) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d\x1f", base)
+	for _, p := range parts {
+		fmt.Fprintf(h, "%#v\x1f", p)
+	}
+	return int64(h.Sum64())
+}

@@ -1,0 +1,217 @@
+// Package runner executes fault-injection campaigns on a worker pool.
+//
+// A campaign (internal/core's sweeps over attack configurations) is a
+// list of independent jobs: each job is built from an attack plan, the
+// experiment configuration, and a deterministically derived seed, so a
+// job's result depends only on its specification — never on wall-clock
+// time, scheduling, or which worker happens to run it. The pool
+// exploits that independence three ways:
+//
+//   - Parallelism. Jobs run on Workers goroutines (GOMAXPROCS by
+//     default) while results are collected in job order, so output is
+//     byte-identical to serial execution regardless of worker count.
+//   - Caching. Jobs carry a content-address (see KeyOf) over their full
+//     specification; a Cache returns previously computed results and an
+//     in-flight singleflight collapses duplicate jobs within a batch,
+//     so shared work (e.g. a campaign's attack-free baseline) is
+//     computed exactly once.
+//   - Streaming. OnResult observes the completed contiguous prefix in
+//     job order (feeding JSONL/CSV sinks, see sink.go) and OnProgress
+//     observes every completion as it happens.
+//
+// Error semantics match serial execution: the error returned is the one
+// the lowest-indexed failing job produced, and OnResult never sees a
+// result at or beyond the first failing index.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Job is one unit of campaign work.
+type Job[T any] struct {
+	// Label names the job in progress reports and error messages.
+	Label string
+	// Key is the content-address of the job's specification: a hash of
+	// everything the result depends on (experiment config, attack plan,
+	// seeds — see KeyOf). Jobs with equal keys must compute equal
+	// results. An empty key disables caching and deduplication.
+	Key string
+	// Run computes the result. It must be safe to call concurrently
+	// with other jobs' Run functions.
+	Run func() (T, error)
+}
+
+// Progress reports one completed job. Callbacks are serialized but may
+// arrive in any job order; Done is the number of jobs finished so far.
+type Progress struct {
+	Done     int
+	Total    int
+	Label    string
+	CacheHit bool
+}
+
+// Pool runs batches of jobs on a fixed number of workers.
+type Pool[T any] struct {
+	// Workers is the pool width; ≤0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// Cache, when non-nil, memoizes results by Job.Key.
+	Cache Cache[T]
+	// OnProgress, when non-nil, observes every job completion.
+	OnProgress func(Progress)
+	// OnResult, when non-nil, observes results strictly in job order
+	// (the completed contiguous prefix, ending before the first failed
+	// job). Returning an error aborts the batch.
+	OnResult func(index int, v T, cacheHit bool) error
+}
+
+// flight tracks one in-progress computation of a cache key so
+// duplicate jobs in the same batch wait for the leader instead of
+// recomputing.
+type flight[T any] struct {
+	done chan struct{}
+	v    T
+	err  error
+}
+
+// Run executes the jobs and returns their results in job order. On
+// failure it returns a nil slice and the first failing job's error —
+// the same error serial execution would have stopped on, because the
+// dispatcher hands out indices in order and stops at the first failure,
+// so every job below the reported index has run to completion.
+func (p *Pool[T]) Run(jobs []Job[T]) ([]T, error) {
+	n := len(jobs)
+	if n == 0 {
+		return nil, nil
+	}
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	results := make([]T, n)
+	errs := make([]error, n)
+	hits := make([]bool, n)
+	done := make([]bool, n)
+
+	var (
+		mu       sync.Mutex // guards results/errs/hits/done and emission state
+		nextEmit int
+		emitErr  error
+		finished int
+	)
+	flights := make(map[string]*flight[T])
+	var flightMu sync.Mutex
+
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	abort := func() { stopOnce.Do(func() { close(stop) }) }
+
+	idx := make(chan int)
+	go func() {
+		defer close(idx)
+		for i := 0; i < n; i++ {
+			select {
+			case idx <- i:
+			case <-stop:
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				v, hit, err := p.runOne(jobs[i], flights, &flightMu)
+
+				mu.Lock()
+				results[i], errs[i], hits[i], done[i] = v, err, hit, true
+				finished++
+				if err != nil {
+					abort()
+				}
+				for nextEmit < n && done[nextEmit] && errs[nextEmit] == nil && emitErr == nil {
+					if p.OnResult != nil {
+						if e := p.OnResult(nextEmit, results[nextEmit], hits[nextEmit]); e != nil {
+							emitErr = fmt.Errorf("runner: result sink at job %d (%s): %w",
+								nextEmit, jobs[nextEmit].Label, e)
+							abort()
+							break
+						}
+					}
+					nextEmit++
+				}
+				if p.OnProgress != nil {
+					p.OnProgress(Progress{Done: finished, Total: n, Label: jobs[i].Label, CacheHit: hit})
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	for i := range errs {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+	}
+	if emitErr != nil {
+		return nil, emitErr
+	}
+	return results, nil
+}
+
+// runOne executes a single job through the cache and the in-flight
+// deduplication table.
+func (p *Pool[T]) runOne(j Job[T], flights map[string]*flight[T], flightMu *sync.Mutex) (T, bool, error) {
+	if j.Key == "" {
+		v, err := j.Run()
+		return v, false, err
+	}
+	if p.Cache != nil {
+		if v, ok := p.Cache.Get(j.Key); ok {
+			return v, true, nil
+		}
+	}
+	flightMu.Lock()
+	if f, ok := flights[j.Key]; ok {
+		flightMu.Unlock()
+		<-f.done
+		if f.err != nil {
+			var zero T
+			return zero, false, f.err
+		}
+		return f.v, true, nil
+	}
+	// Recheck the cache before becoming leader: a previous leader Puts
+	// its result before deleting its flight entry, so a missing entry
+	// with a cache hit means the work already finished between our
+	// lock-free Get above and taking flightMu.
+	if p.Cache != nil {
+		if v, ok := p.Cache.Get(j.Key); ok {
+			flightMu.Unlock()
+			return v, true, nil
+		}
+	}
+	f := &flight[T]{done: make(chan struct{})}
+	flights[j.Key] = f
+	flightMu.Unlock()
+
+	f.v, f.err = j.Run()
+	if f.err == nil && p.Cache != nil {
+		p.Cache.Put(j.Key, f.v)
+	}
+	flightMu.Lock()
+	delete(flights, j.Key)
+	flightMu.Unlock()
+	close(f.done)
+	return f.v, false, f.err
+}

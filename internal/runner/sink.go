@@ -1,0 +1,165 @@
+package runner
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// Field is one named value of a result record. Records carry ordered
+// fields (not maps) so sink output is deterministic.
+type Field struct {
+	Name  string
+	Value any
+}
+
+// Record is one result row, e.g. one sweep point.
+type Record []Field
+
+// Sink consumes result records as a campaign streams them. Writes
+// arrive in job order (the pool emits the completed prefix); Close
+// flushes buffered output and closes the underlying writer when it is
+// an io.Closer.
+type Sink interface {
+	Write(Record) error
+	Close() error
+}
+
+// JSONLSink writes one JSON object per record, one record per line,
+// preserving field order.
+type JSONLSink struct {
+	mu sync.Mutex
+	w  *bufio.Writer
+	c  io.Closer
+}
+
+// NewJSONLSink wraps w in a buffered JSON-lines sink.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	s := &JSONLSink{w: bufio.NewWriter(w)}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s
+}
+
+// Write emits rec as one JSON line.
+func (s *JSONLSink) Write(rec Record) error {
+	var b bytes.Buffer
+	b.WriteByte('{')
+	for i, f := range rec {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		name, err := json.Marshal(f.Name)
+		if err != nil {
+			return fmt.Errorf("runner: jsonl field %q: %w", f.Name, err)
+		}
+		val, err := json.Marshal(f.Value)
+		if err != nil {
+			return fmt.Errorf("runner: jsonl field %q: %w", f.Name, err)
+		}
+		b.Write(name)
+		b.WriteByte(':')
+		b.Write(val)
+	}
+	b.WriteString("}\n")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := s.w.Write(b.Bytes())
+	return err
+}
+
+// Close flushes the buffer and closes the underlying writer if it is
+// closable.
+func (s *JSONLSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.w.Flush(); err != nil {
+		return err
+	}
+	if s.c != nil {
+		return s.c.Close()
+	}
+	return nil
+}
+
+// CSVSink writes records as CSV rows. The first record fixes the
+// header (its field names, in order); later records must carry the
+// same fields in the same order.
+type CSVSink struct {
+	mu     sync.Mutex
+	cw     *csv.Writer
+	c      io.Closer
+	header []string
+}
+
+// NewCSVSink wraps w in a CSV sink.
+func NewCSVSink(w io.Writer) *CSVSink {
+	s := &CSVSink{cw: csv.NewWriter(w)}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s
+}
+
+// Write emits rec as one CSV row, writing the header first if this is
+// the first record.
+func (s *CSVSink) Write(rec Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.header == nil {
+		s.header = make([]string, len(rec))
+		for i, f := range rec {
+			s.header[i] = f.Name
+		}
+		if err := s.cw.Write(s.header); err != nil {
+			return err
+		}
+	}
+	if len(rec) != len(s.header) {
+		return fmt.Errorf("runner: csv record has %d fields, header has %d", len(rec), len(s.header))
+	}
+	row := make([]string, len(rec))
+	for i, f := range rec {
+		if f.Name != s.header[i] {
+			return fmt.Errorf("runner: csv field %d is %q, header says %q", i, f.Name, s.header[i])
+		}
+		row[i] = formatValue(f.Value)
+	}
+	return s.cw.Write(row)
+}
+
+// Close flushes pending rows and closes the underlying writer if it is
+// closable.
+func (s *CSVSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cw.Flush()
+	if err := s.cw.Error(); err != nil {
+		return err
+	}
+	if s.c != nil {
+		return s.c.Close()
+	}
+	return nil
+}
+
+// formatValue renders a field value for CSV: floats in shortest
+// round-trip form, everything else via %v.
+func formatValue(v any) string {
+	switch x := v.(type) {
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	case float32:
+		return strconv.FormatFloat(float64(x), 'g', -1, 32)
+	case string:
+		return x
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}

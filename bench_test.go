@@ -433,6 +433,39 @@ func BenchmarkRunner_CachedSweep(b *testing.B) {
 	}
 }
 
+// --- Hot-path micro-benches (network tier) ---
+
+// benchStepTrain measures one network timestep at paper scale
+// (NInput=784, NExc=100) over a realistic Poisson spike workload.
+func benchStepTrain(b *testing.B, learn bool) {
+	cfg := snn.DefaultConfig()
+	n, err := snn.NewDiehlCook(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	images := mnist.Synthetic(1, 3)
+	enc := encoding.NewPoissonEncoder(8)
+	train := enc.Encode(&images[0], cfg.Steps)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%len(train) == 0 {
+			b.StopTimer()
+			n.NormalizeWeights()
+			n.ResetState()
+			b.StartTimer()
+		}
+		n.Step(train[i%len(train)], learn)
+	}
+}
+
+// BenchmarkStep_Train is the acceptance bench for the layout-aware
+// kernels: one learning timestep of the Diehl&Cook hot loop.
+func BenchmarkStep_Train(b *testing.B) { benchStepTrain(b, true) }
+
+// BenchmarkStep_Infer is the same loop without plasticity (the
+// evaluation path).
+func BenchmarkStep_Infer(b *testing.B) { benchStepTrain(b, false) }
+
 // --- End-to-end throughput benches ---
 
 func BenchmarkTrainImage(b *testing.B) {
@@ -453,12 +486,47 @@ func BenchmarkTrainImage(b *testing.B) {
 	}
 }
 
-func BenchmarkPoissonEncode(b *testing.B) {
+// BenchmarkTrainImageStream measures the true per-image training cost
+// at workers=1 — streaming encoding fused with the network run, the
+// path the campaign jobs execute (before this engine: materialized
+// Encode followed by RunImage).
+func BenchmarkTrainImageStream(b *testing.B) {
+	cfg := snn.DefaultConfig()
+	n, err := snn.NewDiehlCook(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	images := mnist.Synthetic(16, 3)
+	enc := encoding.NewPoissonEncoder(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc.Begin(&images[i%len(images)])
+		n.RunImageStream(enc.EncodeStep, true)
+	}
+}
+
+// BenchmarkEncode_Materialized measures the allocating Encode path: a
+// full 250-step spike train materialized per image.
+func BenchmarkEncode_Materialized(b *testing.B) {
 	images := mnist.Synthetic(1, 3)
 	enc := encoding.NewPoissonEncoder(8)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		enc.Encode(&images[0], 250)
+	}
+}
+
+// BenchmarkEncode_Stream measures the streaming Begin/EncodeStep path
+// the training loop uses: same spike train, no per-step allocation.
+func BenchmarkEncode_Stream(b *testing.B) {
+	images := mnist.Synthetic(1, 3)
+	enc := encoding.NewPoissonEncoder(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc.Begin(&images[0])
+		for t := 0; t < 250; t++ {
+			enc.EncodeStep()
+		}
 	}
 }
 

@@ -84,8 +84,8 @@ func (e *Experiment) RunWeightFault(spec WeightFaultSpec) (*Result, error) {
 		if spec.EveryNImages > 0 && i > 0 && i%spec.EveryNImages == 0 {
 			spec.apply(n, rng)
 		}
-		train := enc.Encode(&e.Images[i], e.Cfg.Steps)
-		counts := n.RunImage(train, true)
+		enc.Begin(&e.Images[i])
+		counts := n.RunImageStream(enc.EncodeStep, true)
 		total += counts.Sum()
 		perImage = append(perImage, counts)
 		labels = append(labels, e.Images[i].Label)

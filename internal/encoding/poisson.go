@@ -18,6 +18,14 @@ type PoissonEncoder struct {
 	MaxRate float64 // peak firing rate for a saturated pixel (Hz)
 	Dt      float64 // timestep (ms)
 	rng     *rand.Rand
+
+	// Streaming state (Begin/EncodeStep): the image's nonzero-probability
+	// pixels and their probabilities, plus a reusable spike buffer, so
+	// encoding one timestep allocates nothing. One image streams at a
+	// time per encoder; Begin resets the state.
+	idx   []int
+	probs []float64
+	buf   []int
 }
 
 // NewPoissonEncoder returns an encoder with the experiment defaults
@@ -42,20 +50,50 @@ func (e *PoissonEncoder) Probabilities(img *mnist.Image) []float64 {
 	return p
 }
 
+// Begin prepares streaming encoding of img: it precomputes the list of
+// pixels with nonzero spike probability so each subsequent EncodeStep
+// draws only for those. The random stream is consumed exactly as by
+// Encode (one draw per nonzero-probability pixel per step, in pixel
+// order), so streaming and materialized encoding are bit-identical for
+// the same seed.
+func (e *PoissonEncoder) Begin(img *mnist.Image) {
+	scale := e.MaxRate * e.Dt / 1000 / 255
+	e.idx = e.idx[:0]
+	e.probs = e.probs[:0]
+	for i, px := range img.Pixels {
+		if p := float64(px) * scale; p > 0 {
+			e.idx = append(e.idx, i)
+			e.probs = append(e.probs, p)
+		}
+	}
+}
+
+// EncodeStep draws one timestep of the image installed by Begin and
+// returns the indices of pixels that spiked. The returned slice is
+// reused by the next call; copy it to retain. Encoding a step performs
+// no allocation once the spike buffer has warmed up.
+func (e *PoissonEncoder) EncodeStep() []int {
+	e.buf = e.buf[:0]
+	for k, p := range e.probs {
+		if e.rng.Float64() < p {
+			e.buf = append(e.buf, e.idx[k])
+		}
+	}
+	return e.buf
+}
+
 // Encode produces a spike train of the given number of steps: for each
 // step, the indices of pixels that spiked. The sparse representation is
-// what the network's propagation kernel consumes directly.
+// what the network's propagation kernel consumes directly. It is the
+// materialized form of Begin/EncodeStep and produces bit-identical
+// trains.
 func (e *PoissonEncoder) Encode(img *mnist.Image, steps int) [][]int {
-	probs := e.Probabilities(img)
+	e.Begin(img)
 	train := make([][]int, steps)
 	for t := 0; t < steps; t++ {
-		var active []int
-		for i, p := range probs {
-			if p > 0 && e.rng.Float64() < p {
-				active = append(active, i)
-			}
+		if step := e.EncodeStep(); len(step) > 0 {
+			train[t] = append(make([]int, 0, len(step)), step...)
 		}
-		train[t] = active
 	}
 	return train
 }

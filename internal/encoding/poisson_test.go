@@ -115,3 +115,81 @@ func avg(xs []int) float64 {
 	}
 	return float64(s) / float64(len(xs))
 }
+
+// TestStreamMatchesEncode pins the streaming Begin/EncodeStep path
+// against the materialized Encode: for the same seed both must consume
+// the random stream identically and produce bit-identical spike trains.
+func TestStreamMatchesEncode(t *testing.T) {
+	img := testImage()
+	const steps = 300
+	mat := NewPoissonEncoder(13).Encode(img, steps)
+	stream := NewPoissonEncoder(13)
+	stream.Begin(img)
+	for tt := 0; tt < steps; tt++ {
+		got := stream.EncodeStep()
+		want := mat[tt]
+		if len(got) != len(want) {
+			t.Fatalf("step %d: %d spikes streamed, %d materialized", tt, len(got), len(want))
+		}
+		for k := range got {
+			if got[k] != want[k] {
+				t.Fatalf("step %d spike %d: pixel %d streamed, %d materialized", tt, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+// TestStreamStepAllocationFree verifies EncodeStep allocates nothing
+// once its spike buffer has warmed up.
+func TestStreamStepAllocationFree(t *testing.T) {
+	enc := NewPoissonEncoder(3)
+	img := testImage()
+	enc.Begin(img)
+	for i := 0; i < 50; i++ { // warm the buffer
+		enc.EncodeStep()
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		enc.EncodeStep()
+	})
+	if allocs != 0 {
+		t.Fatalf("EncodeStep allocates %.1f objects per step, want 0", allocs)
+	}
+}
+
+// TestStreamRateProportionality is the rate property test for the
+// streaming path: over many steps each pixel's spike count must track
+// its per-step probability, and the streamed counts must agree exactly
+// with CountSpikes over a materialized train from the same seed.
+func TestStreamRateProportionality(t *testing.T) {
+	img := testImage()
+	const steps = 4000
+	enc := NewPoissonEncoder(7)
+	probs := enc.Probabilities(img)
+	enc.Begin(img)
+	counts := make([]int, len(img.Pixels))
+	for tt := 0; tt < steps; tt++ {
+		for _, i := range enc.EncodeStep() {
+			counts[i]++
+		}
+	}
+	for i, p := range probs {
+		if p == 0 {
+			if counts[i] != 0 {
+				t.Fatalf("dark pixel %d spiked %d times", i, counts[i])
+			}
+			continue
+		}
+		mean := p * steps
+		// Allow 5 standard deviations of Bernoulli noise.
+		sd := math.Sqrt(p * (1 - p) * steps)
+		if d := math.Abs(float64(counts[i]) - mean); d > 5*sd+1 {
+			t.Fatalf("pixel %d: %d spikes over %d steps, want %.1f ± %.1f", i, counts[i], steps, mean, 5*sd)
+		}
+	}
+	want := CountSpikes(NewPoissonEncoder(7).Encode(img, steps), len(img.Pixels))
+	for i := range counts {
+		if counts[i] != want[i] {
+			t.Fatalf("pixel %d: streamed count %d != materialized count %d", i, counts[i], want[i])
+		}
+	}
+}

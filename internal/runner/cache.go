@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"hash/fnv"
+	"reflect"
 	"sync"
 )
 
@@ -81,15 +82,25 @@ func (c *MemoryCache[T]) Stats() (hits, misses int64) {
 	return c.hits, c.misses
 }
 
-// KeyOf content-addresses a job specification: it hashes the canonical
-// Go representation (%#v) of each part — configs, plans, seeds — into a
-// hex digest. Two specifications hash equal iff their printed
-// representations are equal, so parts should be plain data (structs,
-// slices and scalars without unexported pointers or maps).
+// KeyOf content-addresses a job specification: it hashes an
+// address-free canonical rendering of each part — configs, plans,
+// seeds — into a hex digest.
+//
+// Contract: parts must be plain data — bools, integers, floats,
+// complex numbers, strings, and arrays, slices, maps, structs and
+// pointers thereof. Pointers are followed (a nil pointer renders as
+// nil), so two structurally equal specifications key identically
+// regardless of allocation — across processes included. Map entries
+// are hashed in sorted key order. Channels, funcs, unsafe pointers and
+// uintptrs identify runtime objects rather than data and make KeyOf
+// panic. (The previous %#v-based implementation silently keyed nested
+// pointer fields on their hex address, breaking cache determinism
+// across processes.)
 func KeyOf(parts ...any) string {
 	h := sha256.New()
 	for _, p := range parts {
-		fmt.Fprintf(h, "%#v\x1f", p)
+		writeCanonical(h, reflect.ValueOf(p), 0)
+		h.Write([]byte{0x1f})
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }

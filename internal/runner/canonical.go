@@ -1,0 +1,125 @@
+package runner
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// maxCanonicalDepth bounds recursion through pointers so cyclic
+// structures fail loudly instead of hanging.
+const maxCanonicalDepth = 64
+
+// writeCanonical renders v into w in a canonical, address-free form:
+//
+//   - pointers are followed (nil renders as "nil"), so two structurally
+//     equal values hash equal regardless of where they are allocated —
+//     unlike %#v, which prints the hex address of nested pointer fields;
+//   - map entries are emitted in sorted rendered-key order, so the hash
+//     does not depend on iteration order;
+//   - floats render as exact hex float strings ('x'), so distinct values
+//     are never conflated by decimal shortening;
+//   - every node is prefixed with its type, so values of different
+//     types cannot collide.
+//
+// Channels, funcs, unsafe pointers and uintptrs panic: they identify
+// runtime objects, not data, and a key built from them could never be
+// reproduced in another process.
+func writeCanonical(w io.Writer, v reflect.Value, depth int) {
+	if depth > maxCanonicalDepth {
+		panic("runner: KeyOf: value nests deeper than 64 levels (cycle?)")
+	}
+	if !v.IsValid() {
+		io.WriteString(w, "nil")
+		return
+	}
+	t := v.Type()
+	switch v.Kind() {
+	case reflect.Bool:
+		fmt.Fprintf(w, "%s(%t)", t, v.Bool())
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		fmt.Fprintf(w, "%s(%d)", t, v.Int())
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		fmt.Fprintf(w, "%s(%d)", t, v.Uint())
+	case reflect.Float32, reflect.Float64:
+		fmt.Fprintf(w, "%s(%s)", t, strconv.FormatFloat(v.Float(), 'x', -1, 64))
+	case reflect.Complex64, reflect.Complex128:
+		c := v.Complex()
+		fmt.Fprintf(w, "%s(%s,%s)", t,
+			strconv.FormatFloat(real(c), 'x', -1, 64),
+			strconv.FormatFloat(imag(c), 'x', -1, 64))
+	case reflect.String:
+		fmt.Fprintf(w, "%s(%q)", t, v.String())
+	case reflect.Pointer:
+		if v.IsNil() {
+			fmt.Fprintf(w, "%s(nil)", t)
+			return
+		}
+		fmt.Fprintf(w, "&")
+		writeCanonical(w, v.Elem(), depth+1)
+	case reflect.Interface:
+		if v.IsNil() {
+			io.WriteString(w, "nil")
+			return
+		}
+		writeCanonical(w, v.Elem(), depth+1)
+	case reflect.Slice:
+		if v.IsNil() {
+			fmt.Fprintf(w, "%s(nil)", t)
+			return
+		}
+		fallthrough
+	case reflect.Array:
+		fmt.Fprintf(w, "%s[", t)
+		for i := 0; i < v.Len(); i++ {
+			if i > 0 {
+				io.WriteString(w, ",")
+			}
+			writeCanonical(w, v.Index(i), depth+1)
+		}
+		io.WriteString(w, "]")
+	case reflect.Map:
+		if v.IsNil() {
+			fmt.Fprintf(w, "%s(nil)", t)
+			return
+		}
+		keys := v.MapKeys()
+		rendered := make([]string, len(keys))
+		for i, k := range keys {
+			var kb strings.Builder
+			writeCanonical(&kb, k, depth+1)
+			rendered[i] = kb.String()
+		}
+		idx := make([]int, len(keys))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return rendered[idx[a]] < rendered[idx[b]] })
+		fmt.Fprintf(w, "%s{", t)
+		for n, i := range idx {
+			if n > 0 {
+				io.WriteString(w, ",")
+			}
+			io.WriteString(w, rendered[i])
+			io.WriteString(w, ":")
+			writeCanonical(w, v.MapIndex(keys[i]), depth+1)
+		}
+		io.WriteString(w, "}")
+	case reflect.Struct:
+		fmt.Fprintf(w, "%s{", t)
+		for i := 0; i < v.NumField(); i++ {
+			if i > 0 {
+				io.WriteString(w, ",")
+			}
+			fmt.Fprintf(w, "%s:", t.Field(i).Name)
+			writeCanonical(w, v.Field(i), depth+1)
+		}
+		io.WriteString(w, "}")
+	default:
+		// Chan, Func, UnsafePointer, Uintptr.
+		panic(fmt.Sprintf("runner: KeyOf: cannot canonicalize %s (kind %s): identifies a runtime object, not data", t, v.Kind()))
+	}
+}

@@ -1,0 +1,109 @@
+package runner
+
+import (
+	"strings"
+	"testing"
+)
+
+type inner struct {
+	N int
+}
+
+type specWithPtr struct {
+	Name string
+	In   *inner
+	Rate *float64
+}
+
+// TestKeyOfPointerFieldsKeyOnPointee: the documented contract — two
+// structurally equal specs must key identically no matter where their
+// pointer fields point. The old %#v implementation keyed nested
+// pointers on their hex address, so equality held only within one
+// allocation.
+func TestKeyOfPointerFieldsKeyOnPointee(t *testing.T) {
+	r1, r2 := 1.5, 1.5
+	a := specWithPtr{Name: "x", In: &inner{N: 7}, Rate: &r1}
+	b := specWithPtr{Name: "x", In: &inner{N: 7}, Rate: &r2}
+	if KeyOf(a) != KeyOf(b) {
+		t.Fatal("equal specs with distinct allocations must key equal")
+	}
+
+	c := specWithPtr{Name: "x", In: &inner{N: 8}, Rate: &r1}
+	if KeyOf(a) == KeyOf(c) {
+		t.Fatal("different pointee values must key differently")
+	}
+
+	d := specWithPtr{Name: "x", In: nil, Rate: &r1}
+	if KeyOf(a) == KeyOf(d) {
+		t.Fatal("nil pointer must key differently from a set one")
+	}
+	if KeyOf(d) != KeyOf(specWithPtr{Name: "x", Rate: &r2}) {
+		t.Fatal("nil pointers must key equal")
+	}
+}
+
+// TestKeyOfMapOrderIndependent: map iteration order must not leak into
+// the key.
+func TestKeyOfMapOrderIndependent(t *testing.T) {
+	m1 := map[string]int{}
+	m2 := map[string]int{}
+	for i, k := range []string{"a", "b", "c", "d", "e", "f", "g", "h"} {
+		m1[k] = i
+	}
+	for i := 7; i >= 0; i-- {
+		m2[[]string{"a", "b", "c", "d", "e", "f", "g", "h"}[i]] = i
+	}
+	want := KeyOf(m1)
+	for trial := 0; trial < 20; trial++ {
+		if KeyOf(m2) != want {
+			t.Fatal("map keys must hash order-independently")
+		}
+	}
+}
+
+// TestKeyOfDistinguishesTypesAndValues: type information is part of the
+// key, and float values hash exactly.
+func TestKeyOfDistinguishesTypesAndValues(t *testing.T) {
+	if KeyOf(int32(1)) == KeyOf(int64(1)) {
+		t.Fatal("same number, different type must key differently")
+	}
+	if KeyOf(1.0) == KeyOf(1.0+1e-15) {
+		t.Fatal("nearby floats must not be conflated")
+	}
+	if KeyOf([]int(nil)) == KeyOf([]int{}) {
+		t.Fatal("nil and empty slices are distinct specifications")
+	}
+}
+
+// TestKeyOfPanicsOnRuntimeObjects: channels and funcs identify runtime
+// objects, not data; keying them silently would reintroduce the
+// address-determinism bug, so KeyOf must refuse loudly.
+func TestKeyOfPanicsOnRuntimeObjects(t *testing.T) {
+	for _, part := range []any{make(chan int), func() {}, struct{ F func() }{func() {}}} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("KeyOf(%T) must panic", part)
+				}
+				if !strings.Contains(r.(string), "cannot canonicalize") {
+					t.Fatalf("unexpected panic %v", r)
+				}
+			}()
+			KeyOf(part)
+		}()
+	}
+}
+
+// TestKeyOfStableAcrossCalls is the determinism floor: the same parts
+// must key identically on every call (this is what the cache and the
+// singleflight rely on).
+func TestKeyOfStableAcrossCalls(t *testing.T) {
+	parts := []any{"experiment-v1", specWithPtr{Name: "n", In: &inner{N: 3}}, int64(42), 3.25}
+	want := KeyOf(parts...)
+	for i := 0; i < 10; i++ {
+		if KeyOf(parts...) != want {
+			t.Fatal("KeyOf is not stable across calls")
+		}
+	}
+}

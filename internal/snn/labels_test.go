@@ -1,0 +1,96 @@
+package snn
+
+// Deterministic tie-break tests for the labeling and classification
+// rules: both resolve exact rate ties toward the lowest class index
+// (strict > comparisons while scanning classes in ascending order), and
+// both fall back to −1 when nothing qualifies. These semantics are
+// load-bearing — sweep results must not depend on map order or float
+// noise — so they are pinned here.
+
+import (
+	"testing"
+
+	"snnfi/internal/tensor"
+)
+
+func TestAssignLabelsTieBreaksToLowestClass(t *testing.T) {
+	// Two presentations, classes 3 and 7, identical counts for each
+	// neuron: average rates tie exactly, so every active neuron must be
+	// assigned the lower class, 3.
+	perImage := []tensor.Vector{
+		{4, 2, 0},
+		{4, 2, 0},
+	}
+	labels := []uint8{3, 7}
+	got := AssignLabels(perImage, labels, 3)
+	want := []int{3, 3, -1}
+	for j := range want {
+		if got[j] != want[j] {
+			t.Fatalf("neuron %d: got class %d, want %d (full: %v)", j, got[j], want[j], got)
+		}
+	}
+}
+
+func TestAssignLabelsNeverActiveNeuron(t *testing.T) {
+	perImage := []tensor.Vector{{0, 5}, {0, 1}}
+	labels := []uint8{2, 2}
+	got := AssignLabels(perImage, labels, 2)
+	if got[0] != -1 {
+		t.Fatalf("silent neuron must get -1, got %d", got[0])
+	}
+	if got[1] != 2 {
+		t.Fatalf("active neuron must get its class, got %d", got[1])
+	}
+}
+
+func TestAssignLabelsUnevenClassCounts(t *testing.T) {
+	// Class 1 shows up twice with count 3 each (average 3); class 0
+	// once with count 4 (average 4): the average, not the sum, decides.
+	perImage := []tensor.Vector{{4}, {3}, {3}}
+	labels := []uint8{0, 1, 1}
+	got := AssignLabels(perImage, labels, 1)
+	if got[0] != 0 {
+		t.Fatalf("expected class 0 (higher average rate), got %d", got[0])
+	}
+}
+
+func TestClassifyTieBreaksToLowestClass(t *testing.T) {
+	// Neurons 0 and 1 assigned to classes 2 and 5; equal counts tie the
+	// per-class average rates, so the prediction must be class 2.
+	counts := tensor.Vector{3, 3}
+	assignments := []int{2, 5}
+	if got := Classify(counts, assignments); got != 2 {
+		t.Fatalf("tie must resolve to lowest class, got %d", got)
+	}
+}
+
+func TestClassifySilentNetwork(t *testing.T) {
+	// No spikes at all: no class can be preferred (strict > against the
+	// initial 0 rate), so Classify reports -1.
+	counts := tensor.Vector{0, 0}
+	assignments := []int{1, 4}
+	if got := Classify(counts, assignments); got != -1 {
+		t.Fatalf("silent network must classify as -1, got %d", got)
+	}
+}
+
+func TestClassifyIgnoresUnassignedNeurons(t *testing.T) {
+	// Neuron 0 is unassigned (-1); its huge count must not leak into
+	// any class average.
+	counts := tensor.Vector{100, 2, 1}
+	assignments := []int{-1, 6, 3}
+	if got := Classify(counts, assignments); got != 6 {
+		t.Fatalf("expected class 6, got %d", got)
+	}
+}
+
+func TestClassifyAveragesWithinClass(t *testing.T) {
+	// Class 0 has two assigned neurons with counts 2 and 4 (average 3);
+	// class 1 one neuron with count 5: class 1 wins on average despite
+	// the smaller total.
+	counts := tensor.Vector{2, 4, 5}
+	assignments := []int{0, 0, 1}
+	if got := Classify(counts, assignments); got != 1 {
+		t.Fatalf("expected class 1 (higher average), got %d", got)
+	}
+}

@@ -69,6 +69,14 @@ func (c DiehlCookConfig) Validate() error {
 
 // DiehlCook is the trainable network with fault-injection hooks exposed
 // through its layers and the InputDriveScale knob.
+//
+// The hot path is built around sparse supports (see DESIGN.md
+// "Network-tier hot path"): the per-image sets of pixels and excitatory
+// neurons with nonzero STDP traces are tracked as index lists, so the
+// plasticity loops and trace updates touch only active synapses instead
+// of walking full layers, and the pre-synaptic trace itself is lazily
+// evaluated from each pixel's last spike time (bit-identical to the
+// dense per-step decay).
 type DiehlCook struct {
 	Cfg DiehlCookConfig
 
@@ -82,7 +90,24 @@ type DiehlCook struct {
 	// granularity lives in Exc.InputGain; this is the global knob.
 	InputDriveScale float64
 
-	preTrace tensor.Vector // input (pre-synaptic) traces
+	// Sparse trace state, reset per image. A pixel's pre-synaptic trace
+	// is 1 at its spike step and decays by preTraceDecayPerMs each
+	// later step; instead of densely decaying a trace vector every
+	// step, the network records each pixel's last spike step and reads
+	// the trace as preDecayPow[stepsSince], a table built by the same
+	// iterated multiplication the dense decay would perform (so values
+	// are bit-identical). preActive lists the pixels with nonzero
+	// trace, in first-spike order; postActive likewise lists excitatory
+	// neurons with nonzero post trace (the trace itself lives densely
+	// in Exc.Trace — the excitatory support is tiny under
+	// winner-take-all dynamics).
+	preLastSpike []int
+	preSeen      []bool
+	preActive    []int
+	postActive   []int
+	postSeen     []bool
+	preDecayPow  []float64
+	stepT        int // steps since ResetState
 
 	// scratch
 	driveExc tensor.Vector
@@ -110,14 +135,27 @@ func NewDiehlCook(cfg DiehlCookConfig) (*DiehlCook, error) {
 		Exc:             exc,
 		Inh:             inh,
 		InputDriveScale: 1,
-		preTrace:        tensor.NewVector(cfg.NInput),
+		preLastSpike:    make([]int, cfg.NInput),
+		preSeen:         make([]bool, cfg.NInput),
+		postSeen:        make([]bool, cfg.NExc),
+		preDecayPow:     []float64{1},
 		driveExc:        tensor.NewVector(cfg.NExc),
 		driveInh:        tensor.NewVector(cfg.NInh),
 	}
+	n.growDecayPow(cfg.Steps + cfg.RestSteps)
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	n.W.RandFill(rng, 0, 0.3)
 	n.NormalizeWeights()
 	return n, nil
+}
+
+// growDecayPow extends the trace decay table to cover at least k steps,
+// by the same iterated multiplication a densely stored trace would
+// undergo (decayPow[k] = decayPow[k-1]·decay, starting from 1).
+func (n *DiehlCook) growDecayPow(k int) {
+	for len(n.preDecayPow) <= k {
+		n.preDecayPow = append(n.preDecayPow, n.preDecayPow[len(n.preDecayPow)-1]*preTraceDecayPerMs)
+	}
 }
 
 // NormalizeWeights rescales each excitatory neuron's afferent weights
@@ -125,17 +163,38 @@ func NewDiehlCook(cfg DiehlCookConfig) (*DiehlCook, error) {
 func (n *DiehlCook) NormalizeWeights() { n.W.NormalizeCols(n.Cfg.Norm) }
 
 // ResetState clears per-image dynamic state (membranes, traces,
-// pending spikes) while keeping weights, theta, and fault hooks.
+// pending spikes, sparse trace supports) while keeping weights, theta,
+// and fault hooks.
 func (n *DiehlCook) ResetState() {
 	n.Exc.Reset()
 	n.Inh.Reset()
-	n.preTrace.Zero()
+	for _, i := range n.preActive {
+		n.preSeen[i] = false
+	}
+	n.preActive = n.preActive[:0]
+	for _, j := range n.postActive {
+		n.postSeen[j] = false
+	}
+	n.postActive = n.postActive[:0]
 	n.prevExc = n.prevExc[:0]
 	n.prevInh = n.prevInh[:0]
+	n.stepT = 0
 }
 
 // preTraceDecay is exp(−dt/20ms), matching the exc trace constant.
 const preTraceDecayPerMs = 0.951229424500714 // exp(-1/20)
+
+// PreTrace returns the current pre-synaptic trace of pixel i: 0 if the
+// pixel has not spiked since the last ResetState, else the decayed
+// value of the 1 set at its most recent spike.
+func (n *DiehlCook) PreTrace(i int) float64 {
+	if !n.preSeen[i] {
+		return 0
+	}
+	d := n.stepT - 1 - n.preLastSpike[i]
+	n.growDecayPow(d)
+	return n.preDecayPow[d]
+}
 
 // Step advances the network one timestep given the indices of input
 // pixels that spiked. When learn is true the input→exc weights are
@@ -147,64 +206,104 @@ func (n *DiehlCook) Step(inputSpikes []int, learn bool) []int {
 	// 1. Synaptic drive onto the excitatory layer: feedforward input
 	// spikes (this step) plus lateral inhibition from last step's
 	// inhibitory spikes (one-step synaptic delay, as in BindsNET).
-	n.driveExc.Zero()
-	n.W.AccumulateRows(inputSpikes, n.driveExc)
-	if n.InputDriveScale != 1 {
-		n.driveExc.Scale(n.InputDriveScale)
+	if s := n.InputDriveScale; s != 1 {
+		n.W.SumRowsScaled(inputSpikes, s, n.driveExc)
+	} else {
+		n.W.SumRows(inputSpikes, n.driveExc)
 	}
-	for _, j := range n.prevInh {
-		for k := 0; k < cfg.NExc; k++ {
-			if k != j {
-				n.driveExc[k] -= cfg.WInhExc
-			}
+	// Lateral inhibition in O(NExc): every neuron loses WInhExc per
+	// previous-step inhibitory spike except the spiker's own partner,
+	// so subtract the total once and add the self-coupling back. (The
+	// summation order differs from the per-spike loop at the ulp level;
+	// see the calibration record in EXPERIMENTS.md.)
+	if k := len(n.prevInh); k > 0 {
+		sub := float64(k) * cfg.WInhExc
+		d := n.driveExc
+		for i := range d {
+			d[i] -= sub
+		}
+		for _, j := range n.prevInh {
+			d[j] += cfg.WInhExc
 		}
 	}
 
-	// 2. Excitatory layer step.
+	// 2. Excitatory layer step. Newly spiked neurons join the sparse
+	// post-trace support before the STDP pass reads it (their trace was
+	// just set to 1).
 	excSpikes := n.Exc.Step(n.driveExc)
+	for _, j := range excSpikes {
+		if !n.postSeen[j] {
+			n.postSeen[j] = true
+			n.postActive = append(n.postActive, j)
+		}
+	}
 
 	// 3. Inhibitory layer driven 1-to-1 by excitatory spikes from the
-	// previous step.
-	n.driveInh.Zero()
-	for _, j := range n.prevExc {
-		n.driveInh[j] += cfg.WExcInh
+	// previous step. With no pending spikes the drive is identically
+	// zero and the dense pass is skipped.
+	var inhSpikes []int
+	if len(n.prevExc) > 0 {
+		n.driveInh.Zero()
+		for _, j := range n.prevExc {
+			n.driveInh[j] += cfg.WExcInh
+		}
+		inhSpikes = n.Inh.Step(n.driveInh)
+	} else {
+		inhSpikes = n.Inh.Step(nil)
 	}
-	inhSpikes := n.Inh.Step(n.driveInh)
 
-	// 4. STDP on input→exc (post-pre rule): a pre spike depresses by the
-	// post trace; a post spike potentiates by the pre trace.
+	// 4. STDP on input→exc (post-pre rule): a pre spike depresses by
+	// the post trace; a post spike potentiates by the pre trace. Both
+	// loops walk the sparse supports — exactly the synapses whose
+	// traces are nonzero — instead of full layers, with arithmetic
+	// identical to the dense rule per touched weight. Depression
+	// updates each spiked pixel's contiguous weight row; potentiation
+	// walks the spiking neuron's column at the active pixels, reading
+	// each pre trace from the decay table.
 	if learn {
-		for _, i := range inputSpikes {
-			row := n.W.Row(i)
-			for j, tr := range n.Exc.Trace {
-				if tr == 0 {
-					continue
+		if len(n.postActive) > 0 {
+			nuPre := cfg.NuPre
+			trace := n.Exc.Trace
+			for _, i := range inputSpikes {
+				row := n.W.Row(i)
+				for _, j := range n.postActive {
+					w := row[j] - nuPre*trace[j]
+					if w < 0 {
+						w = 0
+					}
+					row[j] = w
 				}
-				w := row[j] - cfg.NuPre*tr
-				if w < 0 {
-					w = 0
-				}
-				row[j] = w
 			}
 		}
-		for _, j := range excSpikes {
-			for i := 0; i < cfg.NInput; i++ {
-				if tr := n.preTrace[i]; tr != 0 {
-					w := n.W.At(i, j) + cfg.NuPost*tr
-					if w > cfg.WMax {
-						w = cfg.WMax
+		if len(excSpikes) > 0 {
+			n.growDecayPow(n.stepT)
+			wd, cols := n.W.Data, n.W.Cols
+			nuPost, wmax := cfg.NuPost, cfg.WMax
+			for _, j := range excSpikes {
+				for _, i := range n.preActive {
+					tr := n.preDecayPow[n.stepT-1-n.preLastSpike[i]]
+					w := wd[i*cols+j] + nuPost*tr
+					if w > wmax {
+						w = wmax
 					}
-					n.W.Set(i, j, w)
+					wd[i*cols+j] = w
 				}
 			}
 		}
 	}
 
-	// 5. Pre-synaptic trace update (decay, then set on spike).
-	n.preTrace.Scale(preTraceDecayPerMs)
+	// 5. Pre-synaptic trace update: record this step as the pixels'
+	// last spike time (the lazy image of "decay all traces, then set
+	// spiked pixels to 1"), extending the support with first-time
+	// spikers.
 	for _, i := range inputSpikes {
-		n.preTrace[i] = 1
+		if !n.preSeen[i] {
+			n.preSeen[i] = true
+			n.preActive = append(n.preActive, i)
+		}
+		n.preLastSpike[i] = n.stepT
 	}
+	n.stepT++
 
 	// 6. Remember this step's spikes for next step's delayed synapses.
 	n.prevExc = append(n.prevExc[:0], excSpikes...)
@@ -227,10 +326,35 @@ func (n *DiehlCook) RunImage(train [][]int, learn bool) tensor.Vector {
 			counts[j]++
 		}
 	}
+	n.rest(counts)
+	return counts
+}
+
+// RunImageStream presents one image of Cfg.Steps timesteps drawn from
+// next — called once per step, e.g. encoding.PoissonEncoder.EncodeStep
+// after Begin — so the full spike train is never materialized. For the
+// same random stream it is bit-identical to Encode+RunImage.
+func (n *DiehlCook) RunImageStream(next func() []int, learn bool) tensor.Vector {
+	if learn {
+		n.NormalizeWeights()
+	}
+	n.ResetState()
+	counts := tensor.NewVector(n.Cfg.NExc)
+	for t := 0; t < n.Cfg.Steps; t++ {
+		for _, j := range n.Step(next(), learn) {
+			counts[j]++
+		}
+	}
+	n.rest(counts)
+	return counts
+}
+
+// rest runs the quiet post-presentation steps, accumulating any
+// residual spikes into counts.
+func (n *DiehlCook) rest(counts tensor.Vector) {
 	for t := 0; t < n.Cfg.RestSteps; t++ {
 		for _, j := range n.Step(nil, false) {
 			counts[j]++
 		}
 	}
-	return counts
 }

@@ -110,6 +110,16 @@ type LIFGroup struct {
 	thetaDecay float64
 	traceDecay float64
 
+	// restSafe, recomputed at each Reset, reports that no neuron can
+	// fire from its resting potential whatever its (non-negative,
+	// decaying) theta: Thresh·ThreshScale[i] > Rest for all i. It gates
+	// the idle fast path in Step — neurons sitting exactly at their
+	// fixed point (V at rest, zero trace/theta, no refractory count)
+	// are skipped when there is no drive, which is bit-identical to
+	// running their update (every decay is a no-op and no spike is
+	// possible). ThreshScale changes take effect at the next Reset.
+	restSafe bool
+
 	spikeScratch []int
 }
 
@@ -141,6 +151,7 @@ func NewLIFGroup(cfg LIFConfig) (*LIFGroup, error) {
 	g.V.Fill(cfg.Rest)
 	g.ThreshScale.Fill(1)
 	g.InputGain.Fill(1)
+	g.restSafe = true // nominal hooks: Thresh > Rest is validated
 	return g, nil
 }
 
@@ -152,6 +163,13 @@ func (g *LIFGroup) Reset() {
 	g.Trace.Zero()
 	for i := range g.refrac {
 		g.refrac[i] = 0
+	}
+	g.restSafe = true
+	for _, s := range g.ThreshScale {
+		if g.Cfg.Thresh*s <= g.Cfg.Rest {
+			g.restSafe = false
+			break
+		}
 	}
 }
 
@@ -171,29 +189,82 @@ func (g *LIFGroup) EffectiveThreshold(i int) float64 {
 // Step advances the group one timestep with the given synaptic drive
 // (mV per neuron) and returns the indices of neurons that spiked. The
 // returned slice is reused across calls; copy it to retain.
+// A nil drive means "no synaptic input this step" and skips the dense
+// drive pass — bit-identical to passing a zero vector.
+//
+// The driven loop is branch-light: decays run unconditionally (they are
+// no-ops at the fixed point: rest + 0·decay = rest, 0·decay = 0), which
+// avoids data-dependent branches over a mixed active/idle population.
+// The undriven loop instead skips fully idle neurons (V at rest, zero
+// trace and theta, no refractory count) outright — valid while restSafe
+// holds, because such a neuron's update is the identity and it cannot
+// reach threshold. Both forms compute bit-identical state.
 func (g *LIFGroup) Step(drive tensor.Vector) []int {
-	cfg := g.Cfg
+	cfg := &g.Cfg
 	g.spikeScratch = g.spikeScratch[:0]
-	for i := 0; i < cfg.N; i++ {
-		// Membrane decay toward rest.
-		g.V[i] = cfg.Rest + (g.V[i]-cfg.Rest)*g.decay
-		// Trace and theta decay.
-		g.Trace[i] *= g.traceDecay
-		g.Theta[i] *= g.thetaDecay
-		if g.refrac[i] > 0 {
-			g.refrac[i]--
+	rest, thresh := cfg.Rest, cfg.Thresh
+	V := g.V
+	trace, theta := g.Trace[:len(V)], g.Theta[:len(V)]
+	refrac := g.refrac[:len(V)]
+	tscale := g.ThreshScale[:len(V)]
+
+	if drive != nil {
+		gain := g.InputGain[:len(V)]
+		drive = drive[:len(V)]
+		for i := range V {
+			v := rest + (V[i]-rest)*g.decay
+			trace[i] *= g.traceDecay
+			th := theta[i] * g.thetaDecay
+			theta[i] = th
+			if refrac[i] > 0 {
+				refrac[i]--
+				V[i] = v
+				continue
+			}
+			v += drive[i] * gain[i]
+			if v >= (thresh+th)*tscale[i] {
+				g.spikeScratch = append(g.spikeScratch, i)
+				v = cfg.Reset
+				refrac[i] = cfg.Refrac
+				theta[i] = th + cfg.ThetaPlus
+				trace[i] = 1
+			}
+			V[i] = v
+		}
+		return g.spikeScratch
+	}
+
+	idleSkip := g.restSafe
+	for i := range V {
+		v := V[i]
+		tr := trace[i]
+		th := theta[i]
+		if idleSkip && v == rest && tr == 0 && th == 0 && refrac[i] == 0 {
 			continue
 		}
-		if drive != nil {
-			g.V[i] += drive[i] * g.InputGain[i]
+		if v != rest {
+			v = rest + (v-rest)*g.decay
 		}
-		if g.V[i] >= g.EffectiveThreshold(i) {
+		if tr != 0 {
+			trace[i] = tr * g.traceDecay
+		}
+		if th != 0 {
+			th *= g.thetaDecay
+			theta[i] = th
+		}
+		if refrac[i] > 0 {
+			refrac[i]--
+			V[i] = v
+			continue
+		}
+		if v >= (thresh+th)*tscale[i] {
 			g.spikeScratch = append(g.spikeScratch, i)
-			g.V[i] = cfg.Reset
-			g.refrac[i] = cfg.Refrac
-			g.Theta[i] += cfg.ThetaPlus
-			g.Trace[i] = 1
+			v = cfg.Reset
+			refrac[i] = cfg.Refrac
+			theta[i] = th + cfg.ThetaPlus
+			trace[i] = 1
 		}
+		V[i] = v
 	}
 	return g.spikeScratch
 }

@@ -34,8 +34,8 @@ func Train(n *DiehlCook, images []mnist.Image, enc *encoding.PoissonEncoder) (*T
 		Labels:   make([]uint8, 0, len(images)),
 	}
 	for i := range images {
-		train := enc.Encode(&images[i], n.Cfg.Steps)
-		counts := n.RunImage(train, true)
+		enc.Begin(&images[i])
+		counts := n.RunImageStream(enc.EncodeStep, true)
 		res.TotalSpikes += counts.Sum()
 		res.PerImage = append(res.PerImage, counts)
 		res.Labels = append(res.Labels, images[i].Label)
@@ -59,8 +59,8 @@ func Evaluate(n *DiehlCook, images []mnist.Image, enc *encoding.PoissonEncoder, 
 	}
 	correct := 0
 	for i := range images {
-		train := enc.Encode(&images[i], n.Cfg.Steps)
-		counts := n.RunImage(train, false)
+		enc.Begin(&images[i])
+		counts := n.RunImageStream(enc.EncodeStep, false)
 		if Classify(counts, assignments) == int(images[i].Label) {
 			correct++
 		}

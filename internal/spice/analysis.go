@@ -2,6 +2,7 @@ package spice
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"os"
 )
@@ -45,6 +46,12 @@ func (c *Circuit) solveNewton(ctx *Context, opt NROptions) error {
 	n := c.NumUnknowns()
 	xNew := make([]float64, n)
 	damping := opt.Damping
+	// Last iteration's worst unscaled Newton update, captured before
+	// ctx.X absorbs the (scaled, clamped) step — the honest answer to
+	// "how far was the solve from its fixed point". Computing it after
+	// the update would report the residual (1−scale) fraction, which is
+	// exactly zero at scale 1.
+	lastWorst, lastWorstIdx := 0.0, -1
 	for iter := 0; iter < opt.MaxIter; iter++ {
 		// High-gain loops (inverter chains at their switching point) can
 		// make full Newton steps flip-flop between rails; tightening the
@@ -57,11 +64,18 @@ func (c *Circuit) solveNewton(ctx *Context, opt NROptions) error {
 		if err := luSolve(ctx.A, xNew); err != nil {
 			return fmt.Errorf("%w (iteration %d)", err, iter)
 		}
-		// Damp: limit the largest node-voltage update.
+		// Damp: limit the largest node-voltage update. The damping
+		// bound considers node voltages only; the diagnostic tracks all
+		// unknowns (branch currents included).
 		maxDelta := 0.0
-		for i := 0; i < ctx.N; i++ {
-			if d := math.Abs(xNew[i] - ctx.X[i]); d > maxDelta {
+		lastWorst, lastWorstIdx = 0.0, -1
+		for i := 0; i < n; i++ {
+			d := math.Abs(xNew[i] - ctx.X[i])
+			if i < ctx.N && d > maxDelta {
 				maxDelta = d
+			}
+			if d > lastWorst {
+				lastWorst, lastWorstIdx = d, i
 			}
 		}
 		scale := 1.0
@@ -90,17 +104,11 @@ func (c *Circuit) solveNewton(ctx *Context, opt NROptions) error {
 		}
 	}
 	if debugNR {
-		worst, wi := 0.0, -1
-		for i := 0; i < n; i++ {
-			if d := math.Abs(xNew[i] - ctx.X[i]); d > worst {
-				worst, wi = d, i
-			}
+		name := fmt.Sprintf("unknown %d", lastWorstIdx)
+		if lastWorstIdx >= 0 && lastWorstIdx < len(c.nodeNames) {
+			name = c.nodeNames[lastWorstIdx]
 		}
-		name := fmt.Sprintf("unknown %d", wi)
-		if wi >= 0 && wi < len(c.nodeNames) {
-			name = c.nodeNames[wi]
-		}
-		fmt.Printf("spice debug: NR stuck, worst delta %.3g at %s; X=%v\n", worst, name, ctx.X)
+		fmt.Fprintf(debugOut, "spice debug: NR stuck, worst delta %.3g at %s; X=%v\n", lastWorst, name, ctx.X)
 	}
 	return fmt.Errorf("spice: Newton–Raphson did not converge in %d iterations", opt.MaxIter)
 }
@@ -315,7 +323,6 @@ func (c *Circuit) Tran(opt TranOptions) (*TranResult, error) {
 	recording := func(name string) bool { return len(recordSet) == 0 || recordSet[name] }
 
 	res := &TranResult{nodes: map[string][]float64{}, branchCur: map[string][]float64{}}
-	steps := int(math.Round(opt.Stop/opt.Dt)) + 1
 	record := func(t float64) {
 		res.Time = append(res.Time, t)
 		for name, idx := range c.nodeIndex {
@@ -341,14 +348,26 @@ func (c *Circuit) Tran(opt TranOptions) (*TranResult, error) {
 	ctx.Time = 0
 	record(0)
 	nrOpt := NROptions{}
+	// Full Dt steps that fit before Stop (the epsilon absorbs float
+	// division noise when Stop is an exact multiple of Dt), plus a
+	// final short step to exactly Stop when it is not: rounding the
+	// count would otherwise silently drop the last partial interval
+	// (e.g. Stop=1.0, Dt=0.3 used to end at t=0.9) or overshoot Stop.
+	nFull := int(opt.Stop/opt.Dt + 1e-9)
 	t := 0.0
-	for step := 1; step < steps; step++ {
+	for step := 1; step <= nFull; step++ {
 		target := float64(step) * opt.Dt
 		if err := c.advance(ctx, t, target, opt, nrOpt, 0); err != nil {
 			return nil, fmt.Errorf("spice: transient at t=%.4g: %w", target, err)
 		}
 		t = target
 		record(t)
+	}
+	if opt.Stop-t > 1e-9*opt.Dt {
+		if err := c.advance(ctx, t, opt.Stop, opt, nrOpt, 0); err != nil {
+			return nil, fmt.Errorf("spice: transient at t=%.4g: %w", opt.Stop, err)
+		}
+		record(opt.Stop)
 	}
 	return res, nil
 }
@@ -406,5 +425,9 @@ func (c *Circuit) advance(ctx *Context, t0, t1 float64, opt TranOptions, nrOpt N
 }
 
 // debugNR enables NR failure diagnostics when the SPICE_DEBUG
-// environment variable is set at process start.
-var debugNR = os.Getenv("SPICE_DEBUG") != ""
+// environment variable is set at process start. debugOut is where the
+// diagnostics go (swapped by tests).
+var (
+	debugNR            = os.Getenv("SPICE_DEBUG") != ""
+	debugOut io.Writer = os.Stdout
+)

@@ -118,6 +118,43 @@ func (x Vector) Clamp(lo, hi float64) {
 // Zero sets every element to 0.
 func (x Vector) Zero() { x.Fill(0) }
 
+// ScatterScale multiplies the elements at idx by s, leaving the rest
+// untouched. The sparse-trace decay kernel: when the nonzero support of
+// x is tracked externally, decaying only the support is bit-identical
+// to a dense Scale (zero times s is zero).
+func (x Vector) ScatterScale(idx []int, s float64) {
+	for _, i := range idx {
+		x[i] *= s
+	}
+}
+
+// ScatterAddScaledClamp performs x[i] = min(x[i]+s*src[i], hi) for each
+// i in idx. This is one row of a sparse outer-product update — the STDP
+// potentiation kernel applied to a contiguous (transposed) weight row
+// over the active pre-trace indices.
+func (x Vector) ScatterAddScaledClamp(idx []int, src Vector, s, hi float64) {
+	for _, i := range idx {
+		v := x[i] + s*src[i]
+		if v > hi {
+			v = hi
+		}
+		x[i] = v
+	}
+}
+
+// ScatterSubScaledFloor performs x[i] = max(x[i]-s*src[i], 0) for each
+// i in idx — the STDP depression kernel over the active post-trace
+// indices.
+func (x Vector) ScatterSubScaledFloor(idx []int, src Vector, s float64) {
+	for _, i := range idx {
+		v := x[i] - s*src[i]
+		if v < 0 {
+			v = 0
+		}
+		x[i] = v
+	}
+}
+
 // Dot returns the inner product of x and y.
 func (x Vector) Dot(y Vector) float64 {
 	checkLen(len(x), len(y))
@@ -206,8 +243,124 @@ func (m *Matrix) AccumulateRows(active []int, out Vector) {
 	checkLen(len(out), m.Cols)
 	for _, i := range active {
 		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		o := out[:len(row)] // bounds-check elimination in the inner loop
 		for j, w := range row {
-			out[j] += w
+			o[j] += w
+		}
+	}
+}
+
+// AccumulateRowsScaled adds s times row i of m into out for every index
+// i in active — the forward-propagation kernel with a per-spike drive
+// scale folded in, so callers avoid a second dense pass over out. Note
+// the arithmetic differs from AccumulateRows-then-Scale at the ulp
+// level (s distributes over the row sum).
+func (m *Matrix) AccumulateRowsScaled(active []int, s float64, out Vector) {
+	checkLen(len(out), m.Cols)
+	for _, i := range active {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		o := out[:len(row)]
+		for j, w := range row {
+			o[j] += s * w
+		}
+	}
+}
+
+// SumRows overwrites out with the sum of the active rows of m (zeroing
+// out when active is empty). It is bit-identical to Zero followed by
+// AccumulateRows — the accumulation order is the same left-to-right row
+// order — but saves the zeroing pass and batches four rows per sweep of
+// out, quartering the load/store traffic on the accumulator.
+func (m *Matrix) SumRows(active []int, out Vector) {
+	checkLen(len(out), m.Cols)
+	if len(active) == 0 {
+		out.Zero()
+		return
+	}
+	c := m.Cols
+	o := out[:c]
+	copy(o, m.Data[active[0]*c:active[0]*c+c])
+	k := 1
+	for ; k+3 < len(active); k += 4 {
+		r1 := m.Data[active[k]*c : active[k]*c+c]
+		r2 := m.Data[active[k+1]*c : active[k+1]*c+c]
+		r3 := m.Data[active[k+2]*c : active[k+2]*c+c]
+		r4 := m.Data[active[k+3]*c : active[k+3]*c+c]
+		r1, r2, r3, r4 = r1[:len(o)], r2[:len(o)], r3[:len(o)], r4[:len(o)]
+		for j := range o {
+			o[j] = (((o[j] + r1[j]) + r2[j]) + r3[j]) + r4[j]
+		}
+	}
+	for ; k < len(active); k++ {
+		r := m.Data[active[k]*c : active[k]*c+c]
+		r = r[:len(o)]
+		for j := range o {
+			o[j] += r[j]
+		}
+	}
+}
+
+// SumRowsScaled overwrites out with s times the sum of the active rows
+// of m, scaling each row as it is accumulated (out[j] = Σ s·row[j]),
+// with the same left-to-right order and 4-row batching as SumRows.
+func (m *Matrix) SumRowsScaled(active []int, s float64, out Vector) {
+	checkLen(len(out), m.Cols)
+	if len(active) == 0 {
+		out.Zero()
+		return
+	}
+	c := m.Cols
+	o := out[:c]
+	r0 := m.Data[active[0]*c : active[0]*c+c]
+	r0 = r0[:len(o)]
+	for j := range o {
+		o[j] = s * r0[j]
+	}
+	k := 1
+	for ; k+3 < len(active); k += 4 {
+		r1 := m.Data[active[k]*c : active[k]*c+c]
+		r2 := m.Data[active[k+1]*c : active[k+1]*c+c]
+		r3 := m.Data[active[k+2]*c : active[k+2]*c+c]
+		r4 := m.Data[active[k+3]*c : active[k+3]*c+c]
+		r1, r2, r3, r4 = r1[:len(o)], r2[:len(o)], r3[:len(o)], r4[:len(o)]
+		for j := range o {
+			o[j] = (((o[j] + s*r1[j]) + s*r2[j]) + s*r3[j]) + s*r4[j]
+		}
+	}
+	for ; k < len(active); k++ {
+		r := m.Data[active[k]*c : active[k]*c+c]
+		r = r[:len(o)]
+		for j := range o {
+			o[j] += s * r[j]
+		}
+	}
+}
+
+// TransposeInto writes mᵀ into dst, which must be Cols×Rows. The copy
+// is blocked for cache friendliness — this is the transpose-sync helper
+// for code that maintains both layouts of one logical matrix.
+func (m *Matrix) TransposeInto(dst *Matrix) {
+	if dst.Rows != m.Cols || dst.Cols != m.Rows {
+		panic(fmt.Sprintf("tensor: transpose shape mismatch: %dx%d into %dx%d",
+			m.Rows, m.Cols, dst.Rows, dst.Cols))
+	}
+	const bs = 32
+	for ii := 0; ii < m.Rows; ii += bs {
+		iMax := ii + bs
+		if iMax > m.Rows {
+			iMax = m.Rows
+		}
+		for jj := 0; jj < m.Cols; jj += bs {
+			jMax := jj + bs
+			if jMax > m.Cols {
+				jMax = m.Cols
+			}
+			for i := ii; i < iMax; i++ {
+				row := m.Data[i*m.Cols : (i+1)*m.Cols]
+				for j := jj; j < jMax; j++ {
+					dst.Data[j*dst.Cols+i] = row[j]
+				}
+			}
 		}
 	}
 }
@@ -227,10 +380,38 @@ func (m *Matrix) ColSum() Vector {
 // RowSum returns the per-row sums of m.
 func (m *Matrix) RowSum() Vector {
 	s := NewVector(m.Rows)
-	for i := 0; i < m.Rows; i++ {
-		s[i] = Vector(m.Data[i*m.Cols : (i+1)*m.Cols]).Sum()
-	}
+	m.RowSumInto(s)
 	return s
+}
+
+// RowSumInto writes the per-row sums of m into out (allocation-free
+// form of RowSum).
+func (m *Matrix) RowSumInto(out Vector) {
+	checkLen(len(out), m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		out[i] = Vector(m.Data[i*m.Cols : (i+1)*m.Cols]).Sum()
+	}
+}
+
+// ScaleRows multiplies every element of row i by f[i].
+func (m *Matrix) ScaleRows(f Vector) {
+	checkLen(len(f), m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		Vector(m.Data[i*m.Cols : (i+1)*m.Cols]).Scale(f[i])
+	}
+}
+
+// ScaleCols multiplies every element of column j by f[j], in one
+// contiguous row-major pass.
+func (m *Matrix) ScaleCols(f Vector) {
+	checkLen(len(f), m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		ff := f[:len(row)]
+		for j := range row {
+			row[j] *= ff[j]
+		}
+	}
 }
 
 // NormalizeCols rescales each column so its sum equals target. Columns
@@ -246,6 +427,23 @@ func (m *Matrix) NormalizeCols(target float64) {
 		for i := 0; i < m.Rows; i++ {
 			m.Data[i*m.Cols+j] *= f
 		}
+	}
+}
+
+// NormalizeRows rescales each row so its sum equals target; zero-sum
+// rows are left untouched. This is NormalizeCols moved to the
+// transposed (output-major) layout, where both the reduction and the
+// rescale are contiguous. For a matrix pair kept in transpose sync it
+// computes bit-identical weights to NormalizeCols on the other layout:
+// the row sum accumulates in the same element order as the column sum.
+func (m *Matrix) NormalizeRows(target float64) {
+	for i := 0; i < m.Rows; i++ {
+		row := Vector(m.Data[i*m.Cols : (i+1)*m.Cols])
+		s := row.Sum()
+		if s == 0 {
+			continue
+		}
+		row.Scale(target / s)
 	}
 }
 

@@ -247,3 +247,157 @@ func TestSumLinearityProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// --- Layout-aware kernel tests (hot-path engine) ---
+
+func randomMatrix(t *testing.T, rows, cols int, seed int64) *Matrix {
+	t.Helper()
+	m := NewMatrix(rows, cols)
+	m.RandFill(rand.New(rand.NewSource(seed)), 0, 1)
+	return m
+}
+
+// TestSumRowsMatchesAccumulate: SumRows must be bit-identical to
+// Zero+AccumulateRows for every active-set size straddling its 4-row
+// batching (0, 1, 4, 5, 9 rows), including repeated rows.
+func TestSumRowsMatchesAccumulate(t *testing.T) {
+	m := randomMatrix(t, 12, 37, 1)
+	for _, active := range [][]int{
+		{}, {3}, {0, 5, 7, 11}, {1, 2, 3, 4, 5}, {8, 3, 3, 0, 11, 6, 2, 9, 4},
+	} {
+		want := NewVector(m.Cols)
+		want.Fill(99) // SumRows must overwrite, not accumulate
+		got := want.Copy()
+		want.Zero()
+		m.AccumulateRows(active, want)
+		m.SumRows(active, got)
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("active %v col %d: SumRows %v != Zero+AccumulateRows %v", active, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestAccumulateRowsScaled(t *testing.T) {
+	m := randomMatrix(t, 6, 9, 2)
+	active := []int{1, 4, 4}
+	out := NewVector(m.Cols)
+	m.AccumulateRowsScaled(active, 0.5, out)
+	for j := 0; j < m.Cols; j++ {
+		want := 0.5*m.At(1, j) + 0.5*m.At(4, j) + 0.5*m.At(4, j)
+		if math.Abs(out[j]-want) > 1e-15 {
+			t.Fatalf("col %d: got %v, want %v", j, out[j], want)
+		}
+	}
+	// Scaled sum-rows overwrites.
+	out.Fill(7)
+	m.SumRowsScaled(active, 2, out)
+	for j := 0; j < m.Cols; j++ {
+		want := 2 * (m.At(1, j) + 2*m.At(4, j))
+		if math.Abs(out[j]-want) > 1e-12 {
+			t.Fatalf("SumRowsScaled col %d: got %v, want %v", j, out[j], want)
+		}
+	}
+}
+
+func TestTransposeInto(t *testing.T) {
+	// Odd shape exercising the 32×32 blocking remainder.
+	m := randomMatrix(t, 70, 33, 3)
+	tr := NewMatrix(33, 70)
+	m.TransposeInto(tr)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if tr.At(j, i) != m.At(i, j) {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch must panic")
+		}
+	}()
+	m.TransposeInto(NewMatrix(70, 33))
+}
+
+// TestNormalizeRowsMatchesNormalizeCols: normalizing rows of the
+// transposed layout must be bit-identical to normalizing columns of the
+// original (same element-order reduction, same per-element scaling).
+func TestNormalizeRowsMatchesNormalizeCols(t *testing.T) {
+	m := randomMatrix(t, 41, 13, 4)
+	// A zero column exercises the skip path on both layouts.
+	for i := 0; i < m.Rows; i++ {
+		m.Set(i, 5, 0)
+	}
+	tr := NewMatrix(m.Cols, m.Rows)
+	m.TransposeInto(tr)
+
+	m.NormalizeCols(78.4)
+	tr.NormalizeRows(78.4)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Fatalf("layouts diverge at (%d,%d): %v vs %v", i, j, m.At(i, j), tr.At(j, i))
+			}
+		}
+	}
+}
+
+func TestRowSumIntoScaleRowsScaleCols(t *testing.T) {
+	m := randomMatrix(t, 5, 4, 5)
+	sums := NewVector(5)
+	m.RowSumInto(sums)
+	for i := range sums {
+		if math.Abs(sums[i]-m.Row(i).Sum()) > 1e-15 {
+			t.Fatalf("row %d sum mismatch", i)
+		}
+	}
+	orig := m.Copy()
+	f := Vector{1, 2, 0.5, 3, 1}
+	m.ScaleRows(f)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if m.At(i, j) != orig.At(i, j)*f[i] {
+				t.Fatalf("ScaleRows mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+	m = orig.Copy()
+	g := Vector{2, 1, 0.25, 4}
+	m.ScaleCols(g)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if m.At(i, j) != orig.At(i, j)*g[j] {
+				t.Fatalf("ScaleCols mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestScatterKernels(t *testing.T) {
+	x := Vector{1, 2, 3, 4}
+	x.ScatterScale([]int{0, 2}, 0.5)
+	want := Vector{0.5, 2, 1.5, 4}
+	for i := range want {
+		if x[i] != want[i] {
+			t.Fatalf("ScatterScale: got %v, want %v", x, want)
+		}
+	}
+
+	w := Vector{0.9, 0.5, 0.1}
+	src := Vector{1, 0.5, 1}
+	w.ScatterAddScaledClamp([]int{0, 1}, src, 0.3, 1.0)
+	if w[0] != 1.0 { // 0.9+0.3 clamps at 1
+		t.Fatalf("clamp failed: %v", w[0])
+	}
+	if math.Abs(w[1]-0.65) > 1e-15 || w[2] != 0.1 {
+		t.Fatalf("ScatterAddScaledClamp: got %v", w)
+	}
+
+	d := Vector{0.2, 0.05, 0.5}
+	d.ScatterSubScaledFloor([]int{0, 1}, Vector{1, 1, 1}, 0.1)
+	if math.Abs(d[0]-0.1) > 1e-15 || d[1] != 0 || d[2] != 0.5 {
+		t.Fatalf("ScatterSubScaledFloor: got %v (floor at 0 expected for index 1)", d)
+	}
+}

@@ -433,6 +433,69 @@ func BenchmarkRunner_CachedSweep(b *testing.B) {
 	}
 }
 
+// --- Circuit-tier characterization sweep benches ---
+
+// BenchmarkCharacterize_DriverVsVDD runs the Fig. 5b driver sweep
+// through the characterization pool at several widths. Points are
+// independent circuit sims, so on a ≥4-core machine workers=4 should
+// be ≥2× faster than workers=1; results are identical at every width
+// (TestCharacterizerDeterministicAcrossWorkers). No cache: every
+// iteration re-simulates all five points.
+func BenchmarkCharacterize_DriverVsVDD(b *testing.B) {
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			ch := &neuron.Characterizer{Workers: w}
+			var swing float64
+			for i := 0; i < b.N; i++ {
+				pts, err := ch.DriverAmplitudeVsVDD([]float64{0.8, 0.9, 1.0, 1.1, 1.2})
+				if err != nil {
+					b.Fatal(err)
+				}
+				swing = neuron.PercentChange(pts[4].Y, pts[2].Y) // paper: +32%
+			}
+			b.ReportMetric(swing, "Δamp_pc@1.2V")
+		})
+	}
+}
+
+// BenchmarkCharacterize_AHThresholdVsVDD runs the Fig. 6a AH threshold
+// sweep (DC transfer analyses) through the pool.
+func BenchmarkCharacterize_AHThresholdVsVDD(b *testing.B) {
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			ch := &neuron.Characterizer{Workers: w}
+			var shift float64
+			for i := 0; i < b.N; i++ {
+				pts, err := ch.AHThresholdVsVDD([]float64{0.8, 0.9, 1.0, 1.1, 1.2})
+				if err != nil {
+					b.Fatal(err)
+				}
+				shift = neuron.PercentChange(pts[0].Y, pts[2].Y) // paper: −17.91%
+			}
+			b.ReportMetric(shift, "Δthr_pc@0.8V")
+		})
+	}
+}
+
+// BenchmarkCharacterize_CachedSweep measures a fully warm
+// characterization sweep: every point is served from the
+// content-addressed point cache, so this is the per-sweep overhead of
+// the characterization pool itself (recipe hashing, job building,
+// scheduling).
+func BenchmarkCharacterize_CachedSweep(b *testing.B) {
+	ch := neuron.NewCharacterizer()
+	vdds := []float64{0.8, 0.9, 1.0, 1.1, 1.2}
+	if _, err := ch.AHThresholdVsVDD(vdds); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ch.AHThresholdVsVDD(vdds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- Hot-path micro-benches (network tier) ---
 
 // benchStepTrain measures one network timestep at paper scale

@@ -69,6 +69,14 @@ func main() {
 		sink = runner.NewJSONLSink(f)
 		r.sinks = []runner.Sink{sink}
 	}
+	// Circuit-tier characterizations run on the same worker pool
+	// settings as the network sweeps; the shared point cache serves
+	// repeated circuit recipes across figures (e.g. the stock driver
+	// sweep appears in both F5b and F9b).
+	r.char = neuron.NewCharacterizer()
+	r.char.Workers = r.workers
+	r.char.OnProgress = r.progress
+	r.char.Sinks = r.sinks
 
 	all := []string{"F3", "F4", "F5b", "F5c", "F6a", "F6b", "F6c", "F7b", "F8a", "F8b", "F8c", "F9a", "F9b", "F9c", "F10a", "F10c", "D1", "D2", "D3", "E1", "E2"}
 	want := map[string]bool{}
@@ -119,6 +127,7 @@ type figRunner struct {
 	workers  int
 	progress func(runner.Progress)
 	sinks    []runner.Sink
+	char     *neuron.Characterizer // circuit-tier sweep pool
 
 	exp *core.Experiment // lazily built, shared across network experiments
 }
@@ -252,7 +261,7 @@ func vddSweep() []float64 { return []float64{0.8, 0.9, 1.0, 1.1, 1.2} }
 
 // fig5b: driver amplitude vs VDD, spice-measured and paper-anchored.
 func (r *figRunner) fig5b() error {
-	pts, err := neuron.DriverAmplitudeVsVDD(vddSweep())
+	pts, err := r.char.DriverAmplitudeVsVDD(vddSweep())
 	if err != nil {
 		return err
 	}
@@ -272,11 +281,11 @@ func (r *figRunner) fig5b() error {
 // fig5c: time-to-spike vs input amplitude for both neurons.
 func (r *figRunner) fig5c() error {
 	amps := []float64{136e-9, 168e-9, 200e-9, 232e-9, 264e-9}
-	ah, err := neuron.AHTimeToSpikeVsAmplitude(amps)
+	ah, err := r.char.AHTimeToSpikeVsAmplitude(amps)
 	if err != nil {
 		return err
 	}
-	iaf, err := neuron.IAFTimeToSpikeVsAmplitude(amps)
+	iaf, err := r.char.IAFTimeToSpikeVsAmplitude(amps)
 	if err != nil {
 		return err
 	}
@@ -293,11 +302,14 @@ func (r *figRunner) fig5c() error {
 
 // fig6a: membrane threshold vs VDD for both neurons.
 func (r *figRunner) fig6a() error {
-	ah, err := neuron.AHThresholdVsVDD(vddSweep())
+	ah, err := r.char.AHThresholdVsVDD(vddSweep())
 	if err != nil {
 		return err
 	}
-	iaf := neuron.IAFThresholdVsVDD(vddSweep())
+	iaf, err := r.char.IAFThresholdVsVDD(vddSweep())
+	if err != nil {
+		return err
+	}
 	fmt.Println("VDD    AH thr(V)  Δ%       I&F thr(V)  Δ%      (paper: ±18/17)")
 	rows := [][]float64{}
 	for i := range ah {
@@ -317,9 +329,9 @@ func (r *figRunner) ttsVsVDD(id string, kind xfer.NeuronKind) error {
 	var pts []neuron.Point
 	var err error
 	if kind == xfer.IAF {
-		pts, err = neuron.IAFTimeToSpikeVsVDD(vddSweep())
+		pts, err = r.char.IAFTimeToSpikeVsVDD(vddSweep())
 	} else {
-		pts, err = neuron.AHTimeToSpikeVsVDD(vddSweep())
+		pts, err = r.char.AHTimeToSpikeVsVDD(vddSweep())
 	}
 	if err != nil {
 		return err
@@ -427,11 +439,11 @@ func (r *figRunner) fig9a() error {
 
 // fig9b: robust driver amplitude vs VDD.
 func (r *figRunner) fig9b() error {
-	unsec, err := neuron.DriverAmplitudeVsVDD(vddSweep())
+	unsec, err := r.char.DriverAmplitudeVsVDD(vddSweep())
 	if err != nil {
 		return err
 	}
-	rob, err := neuron.RobustDriverAmplitudeVsVDD(vddSweep())
+	rob, err := r.char.RobustDriverAmplitudeVsVDD(vddSweep())
 	if err != nil {
 		return err
 	}
@@ -449,7 +461,7 @@ func (r *figRunner) fig9b() error {
 // fig9c: sizing sweep + defended accuracy at 0.8 V.
 func (r *figRunner) fig9c() error {
 	ratios := []float64{1, 2, 4, 8, 16, 32}
-	pts, err := neuron.AHThresholdVsSizing(0.8, ratios)
+	pts, err := r.char.AHThresholdVsSizing(0.8, ratios)
 	if err != nil {
 		return err
 	}
@@ -488,26 +500,21 @@ func (r *figRunner) fig9c() error {
 // fig10a: comparator neuron threshold and timing vs VDD.
 func (r *figRunner) fig10a() error {
 	vdds := []float64{0.8, 1.0, 1.2}
-	thr := make([]float64, len(vdds))
-	tts := make([]float64, len(vdds))
-	for i, vdd := range vdds {
-		n := neuron.NewComparatorAH()
-		n.VDD = vdd
-		var err error
-		if thr[i], err = n.MeasuredThreshold(40e-6, 10e-9); err != nil {
-			return err
-		}
-		if tts[i], err = n.TimeToSpike(40e-6, 10e-9); err != nil {
-			return err
-		}
+	thr, err := r.char.ComparatorMeasuredThresholdVsVDD(vdds)
+	if err != nil {
+		return err
+	}
+	tts, err := r.char.ComparatorTimeToSpikeVsVDD(vdds)
+	if err != nil {
+		return err
 	}
 	fmt.Println("VDD    thr(V)    Δthr%    tts(µs)   Δtts%   (undefended AH: ±20%)")
 	rows := [][]float64{}
 	for i, vdd := range vdds {
-		dThr := neuron.PercentChange(thr[i], thr[1])
-		dTts := neuron.PercentChange(tts[i], tts[1])
-		fmt.Printf("%.2f   %.4f   %+6.2f   %7.3f  %+7.2f\n", vdd, thr[i], dThr, tts[i]*1e6, dTts)
-		rows = append(rows, []float64{vdd, thr[i], dThr, tts[i] * 1e6, dTts})
+		dThr := neuron.PercentChange(thr[i].Y, thr[1].Y)
+		dTts := neuron.PercentChange(tts[i].Y, tts[1].Y)
+		fmt.Printf("%.2f   %.4f   %+6.2f   %7.3f  %+7.2f\n", vdd, thr[i].Y, dThr, tts[i].Y*1e6, dTts)
+		rows = append(rows, []float64{vdd, thr[i].Y, dThr, tts[i].Y * 1e6, dTts})
 	}
 	return r.csv("fig10a_comparator.csv", "vdd_V,thr_V,dthr_pc,tts_us,dtts_pc", rows)
 }
@@ -525,6 +532,13 @@ func (r *figRunner) fig10c() error {
 				detected = 1
 			}
 			rows = append(rows, []float64{v.VDD, float64(v.Count), v.DeviationPc, detected})
+			rec := neuron.PointRecord(fmt.Sprintf("dummy-%v-detection", kind),
+				neuron.Point{X: v.VDD, Y: v.DeviationPc})
+			for _, s := range r.sinks {
+				if err := s.Write(rec); err != nil {
+					return err
+				}
+			}
 		}
 		if err := r.csv(fmt.Sprintf("fig10c_dummy_%v.csv", kind), "vdd_V,count,deviation_pc,detected", rows); err != nil {
 			return err

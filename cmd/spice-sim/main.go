@@ -6,9 +6,13 @@
 // Usage:
 //
 //	spice-sim -circuit ah|iaf|driver|robust-driver|comparator|dummy-ah|dummy-iaf [-vdd 1.0]
-//	spice-sim -circuit ah -sweep vdd
+//	spice-sim -circuit ah -sweep vdd [-workers N] [-jsonl FILE]
 //	spice-sim -circuit ah -sweep sizing
 //	spice-sim -netlist deck.sp -tran 20u -dt 10n -node vout
+//
+// Sweeps run their independent points on internal/runner's worker pool:
+// -workers sizes it (0 = all CPUs; output is identical at any width)
+// and -jsonl streams every sweep point to a JSON-lines file.
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"os"
 
 	"snnfi/internal/neuron"
+	"snnfi/internal/runner"
 	"snnfi/internal/spice"
 )
 
@@ -29,6 +34,8 @@ func main() {
 		tranArg = flag.String("tran", "20u", "transient stop time for -netlist")
 		dtArg   = flag.String("dt", "10n", "transient step for -netlist")
 		node    = flag.String("node", "", "node to report for -netlist (default: spike-count every node)")
+		workers = flag.Int("workers", 0, "sweep worker-pool size (0 = all CPUs)")
+		jsonl   = flag.String("jsonl", "", "optional JSONL file streaming every sweep point")
 	)
 	flag.Parse()
 
@@ -39,7 +46,24 @@ func main() {
 		return
 	}
 	if *sweep != "" {
-		if err := runSweep(*circuit, *sweep); err != nil {
+		ch := neuron.NewCharacterizer()
+		ch.Workers = *workers
+		var sink *runner.JSONLSink
+		if *jsonl != "" {
+			f, err := os.Create(*jsonl)
+			if err != nil {
+				fatal(err)
+			}
+			sink = runner.NewJSONLSink(f)
+			ch.Sinks = []runner.Sink{sink}
+		}
+		err := runSweep(ch, *circuit, *sweep)
+		if sink != nil {
+			if cerr := sink.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
 			fatal(err)
 		}
 		return
@@ -176,15 +200,15 @@ func runSingle(circuit string, vdd float64) error {
 	return nil
 }
 
-func runSweep(circuit, sweep string) error {
+func runSweep(ch *neuron.Characterizer, circuit, sweep string) error {
 	vdds := []float64{0.8, 0.9, 1.0, 1.1, 1.2}
 	switch {
 	case circuit == "ah" && sweep == "vdd":
-		thr, err := neuron.AHThresholdVsVDD(vdds)
+		thr, err := ch.AHThresholdVsVDD(vdds)
 		if err != nil {
 			return err
 		}
-		tts, err := neuron.AHTimeToSpikeVsVDD(vdds)
+		tts, err := ch.AHTimeToSpikeVsVDD(vdds)
 		if err != nil {
 			return err
 		}
@@ -193,17 +217,46 @@ func runSweep(circuit, sweep string) error {
 			fmt.Printf("%.2f   %9.4f   %8.3f\n", vdds[i], thr[i].Y, tts[i].Y*1e6)
 		}
 	case circuit == "iaf" && sweep == "vdd":
-		tts, err := neuron.IAFTimeToSpikeVsVDD(vdds)
+		tts, err := ch.IAFTimeToSpikeVsVDD(vdds)
 		if err != nil {
 			return err
 		}
-		thr := neuron.IAFThresholdVsVDD(vdds)
+		thr, err := ch.IAFThresholdVsVDD(vdds)
+		if err != nil {
+			return err
+		}
 		fmt.Println("VDD    threshold(V)  tts(µs)")
 		for i := range vdds {
 			fmt.Printf("%.2f   %9.4f   %8.3f\n", vdds[i], thr[i].Y, tts[i].Y*1e6)
 		}
+	case circuit == "comparator" && sweep == "vdd":
+		thr, err := ch.ComparatorMeasuredThresholdVsVDD(vdds)
+		if err != nil {
+			return err
+		}
+		tts, err := ch.ComparatorTimeToSpikeVsVDD(vdds)
+		if err != nil {
+			return err
+		}
+		fmt.Println("VDD    threshold(V)  tts(µs)")
+		for i := range vdds {
+			fmt.Printf("%.2f   %9.4f   %8.3f\n", vdds[i], thr[i].Y, tts[i].Y*1e6)
+		}
+	case (circuit == "dummy-ah" || circuit == "dummy-iaf") && sweep == "vdd":
+		kind := neuron.DummyAxonHillock
+		if circuit == "dummy-iaf" {
+			kind = neuron.DummyIAF
+		}
+		pts, err := ch.DummyCountVsVDD(kind, 100e-3, vdds)
+		if err != nil {
+			return err
+		}
+		fmt.Println("VDD    spikes/100ms")
+		for _, p := range pts {
+			fmt.Printf("%.2f   %8.0f\n", p.X, p.Y)
+		}
 	case circuit == "ah" && sweep == "sizing":
-		pts, err := neuron.AHThresholdVsSizing(0.8, []float64{1, 2, 4, 8, 16, 32})
+		pts, err := ch.AHThresholdVsSizing(0.8, []float64{1, 2, 4, 8, 16, 32})
 		if err != nil {
 			return err
 		}
@@ -212,7 +265,7 @@ func runSweep(circuit, sweep string) error {
 			fmt.Printf("%4.0f   %.4f\n", p.X, p.Y)
 		}
 	case circuit == "driver" && sweep == "vdd":
-		pts, err := neuron.DriverAmplitudeVsVDD(vdds)
+		pts, err := ch.DriverAmplitudeVsVDD(vdds)
 		if err != nil {
 			return err
 		}
@@ -221,7 +274,7 @@ func runSweep(circuit, sweep string) error {
 			fmt.Printf("%.2f   %8.1f\n", p.X, p.Y*1e9)
 		}
 	case circuit == "robust-driver" && sweep == "vdd":
-		pts, err := neuron.RobustDriverAmplitudeVsVDD(vdds)
+		pts, err := ch.RobustDriverAmplitudeVsVDD(vdds)
 		if err != nil {
 			return err
 		}
@@ -234,9 +287,9 @@ func runSweep(circuit, sweep string) error {
 		var pts []neuron.Point
 		var err error
 		if circuit == "ah" {
-			pts, err = neuron.AHTimeToSpikeVsAmplitude(amps)
+			pts, err = ch.AHTimeToSpikeVsAmplitude(amps)
 		} else {
-			pts, err = neuron.IAFTimeToSpikeVsAmplitude(amps)
+			pts, err = ch.IAFTimeToSpikeVsAmplitude(amps)
 		}
 		if err != nil {
 			return err

@@ -1,6 +1,10 @@
 package neuron
 
-import "fmt"
+import (
+	"fmt"
+
+	"snnfi/internal/runner"
+)
 
 // Point is one characterization sample: an independent value (VDD,
 // amplitude, W/L, ...) and the measured dependent value.
@@ -11,146 +15,334 @@ type Point struct {
 // PercentChange returns 100·(y−yRef)/yRef.
 func PercentChange(y, yRef float64) float64 { return 100 * (y - yRef) / yRef }
 
+// Characterizer runs neuron characterization sweeps on the campaign
+// worker pool (internal/runner). Every sweep point is an independent
+// circuit build + simulation from a value-only recipe, so points run
+// concurrently under the pool's determinism contract — output is
+// identical at any worker width — and each point is content-addressed
+// by its circuit recipe and measurement, so a cache-equipped
+// Characterizer simulates a given circuit point at most once even
+// across different figures (e.g. F5b and F9b both measure the stock
+// driver sweep).
+type Characterizer struct {
+	// Workers sizes the worker pool; ≤0 uses all CPUs.
+	Workers int
+	// Cache, when non-nil, memoizes measured values by recipe address.
+	// Only the dependent value is cached — the independent value is a
+	// sweep-axis coordinate, not a circuit property, and two sweeps can
+	// reach the same recipe from different axes (sizing ratio ×1 at
+	// VDD 1.0 is the nominal threshold circuit).
+	Cache runner.Cache[float64]
+	// OnProgress, when non-nil, observes each completed point.
+	OnProgress func(runner.Progress)
+	// Sinks receive one record per point, streamed in sweep order
+	// regardless of worker count.
+	Sinks []runner.Sink
+}
+
+// NewCharacterizer returns a pool-wide Characterizer with a fresh
+// measurement cache.
+func NewCharacterizer() *Characterizer {
+	return &Characterizer{Cache: runner.NewMemoryCache[float64]()}
+}
+
+// defaultChar backs the package-level characterization functions: all
+// CPUs, deterministic, no cross-call cache (benchmarks rely on every
+// call re-simulating).
+var defaultChar = &Characterizer{}
+
+// charPoint is one sweep point before execution: the independent
+// value, the content-address of (recipe, measurement), and the
+// measurement itself.
+type charPoint struct {
+	x    float64
+	key  string
+	eval func() (float64, error)
+}
+
+// sweep runs the points as runner jobs, collecting results in sweep
+// order and streaming one record per point to the sinks. The pool
+// carries only the measured Y values; each sweep reattaches its own
+// X axis, so cached measurements are reusable across sweeps whose axes
+// differ.
+func (ch *Characterizer) sweep(name string, pts []charPoint) ([]Point, error) {
+	jobs := make([]runner.Job[float64], len(pts))
+	for i, p := range pts {
+		p := p
+		jobs[i] = runner.Job[float64]{
+			Label: fmt.Sprintf("%s @ %g", name, p.x),
+			Key:   p.key,
+			Run: func() (float64, error) {
+				y, err := p.eval()
+				if err != nil {
+					return 0, fmt.Errorf("neuron: %s at %g: %w", name, p.x, err)
+				}
+				return y, nil
+			},
+		}
+	}
+	pool := &runner.Pool[float64]{
+		Workers:    ch.Workers,
+		Cache:      ch.Cache,
+		OnProgress: ch.OnProgress,
+	}
+	if len(ch.Sinks) > 0 {
+		pool.OnResult = func(i int, y float64, _ bool) error {
+			rec := PointRecord(name, Point{X: pts[i].x, Y: y})
+			for _, s := range ch.Sinks {
+				if err := s.Write(rec); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	ys, err := pool.Run(jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Point, len(pts))
+	for i, y := range ys {
+		out[i] = Point{X: pts[i].x, Y: y}
+	}
+	return out, nil
+}
+
+// PointRecord renders one characterization point as the streamed sink
+// record shape shared by every circuit-tier sweep.
+func PointRecord(sweep string, p Point) runner.Record {
+	return runner.Record{
+		{Name: "sweep", Value: sweep},
+		{Name: "x", Value: p.X},
+		{Name: "y", Value: p.Y},
+	}
+}
+
 // AHThresholdVsVDD sweeps the Axon Hillock membrane threshold (first
 // inverter switching point) against VDD. This regenerates the AH series
 // of Fig. 6a.
-func AHThresholdVsVDD(vdds []float64) ([]Point, error) {
-	out := make([]Point, 0, len(vdds))
-	for _, v := range vdds {
+func (ch *Characterizer) AHThresholdVsVDD(vdds []float64) ([]Point, error) {
+	pts := make([]charPoint, len(vdds))
+	for i, v := range vdds {
 		n := NewAxonHillock()
 		n.VDD = v
-		thr, err := n.Threshold()
-		if err != nil {
-			return nil, fmt.Errorf("neuron: AH threshold at VDD=%.2f: %w", v, err)
-		}
-		out = append(out, Point{X: v, Y: thr})
+		pts[i] = charPoint{x: v, key: runner.KeyOf("neuron/ah-threshold-v1", *n), eval: n.Threshold}
 	}
-	return out, nil
+	return ch.sweep("ah-threshold-vs-vdd", pts)
 }
 
 // AHThresholdVsSizing sweeps the AH threshold against the MP1 W/L
 // multiple at a fixed VDD. Ratio r multiplies the nominal MP1 width.
 // This regenerates Fig. 9c.
-func AHThresholdVsSizing(vdd float64, ratios []float64) ([]Point, error) {
-	out := make([]Point, 0, len(ratios))
-	for _, r := range ratios {
+func (ch *Characterizer) AHThresholdVsSizing(vdd float64, ratios []float64) ([]Point, error) {
+	pts := make([]charPoint, len(ratios))
+	for i, r := range ratios {
 		n := NewAxonHillock()
 		n.VDD = vdd
 		n.WP1 = r * 2e-6
-		thr, err := n.Threshold()
-		if err != nil {
-			return nil, fmt.Errorf("neuron: AH threshold at W/L×%.0f: %w", r, err)
-		}
-		out = append(out, Point{X: r, Y: thr})
+		pts[i] = charPoint{x: r, key: runner.KeyOf("neuron/ah-threshold-v1", *n), eval: n.Threshold}
 	}
-	return out, nil
+	return ch.sweep("ah-threshold-vs-sizing", pts)
 }
 
 // IAFThresholdVsVDD sweeps the I&F threshold reference against VDD
 // (the I&F series of Fig. 6a). The threshold is the resistive-divider
 // reference actually presented to the amplifier.
-func IAFThresholdVsVDD(vdds []float64) []Point {
-	out := make([]Point, 0, len(vdds))
-	for _, v := range vdds {
+func (ch *Characterizer) IAFThresholdVsVDD(vdds []float64) ([]Point, error) {
+	pts := make([]charPoint, len(vdds))
+	for i, v := range vdds {
 		n := NewIAF()
 		n.VDD = v
-		out = append(out, Point{X: v, Y: n.ThresholdVoltage()})
+		pts[i] = charPoint{
+			x:    v,
+			key:  runner.KeyOf("neuron/iaf-threshold-v1", *n),
+			eval: func() (float64, error) { return n.ThresholdVoltage(), nil },
+		}
 	}
-	return out
+	return ch.sweep("iaf-threshold-vs-vdd", pts)
 }
 
 // DriverAmplitudeVsVDD sweeps the current-mirror driver output spike
 // amplitude against VDD (Fig. 5b).
-func DriverAmplitudeVsVDD(vdds []float64) ([]Point, error) {
-	out := make([]Point, 0, len(vdds))
-	for _, v := range vdds {
+func (ch *Characterizer) DriverAmplitudeVsVDD(vdds []float64) ([]Point, error) {
+	pts := make([]charPoint, len(vdds))
+	for i, v := range vdds {
 		d := NewDriver()
 		d.VDD = v
-		amp, err := d.Amplitude()
-		if err != nil {
-			return nil, fmt.Errorf("neuron: driver amplitude at VDD=%.2f: %w", v, err)
-		}
-		out = append(out, Point{X: v, Y: amp})
+		pts[i] = charPoint{x: v, key: runner.KeyOf("neuron/driver-amplitude-v1", *d), eval: d.Amplitude}
 	}
-	return out, nil
+	return ch.sweep("driver-amplitude-vs-vdd", pts)
 }
 
 // RobustDriverAmplitudeVsVDD sweeps the defended driver (Fig. 9b).
-func RobustDriverAmplitudeVsVDD(vdds []float64) ([]Point, error) {
-	out := make([]Point, 0, len(vdds))
-	for _, v := range vdds {
+func (ch *Characterizer) RobustDriverAmplitudeVsVDD(vdds []float64) ([]Point, error) {
+	pts := make([]charPoint, len(vdds))
+	for i, v := range vdds {
 		d := NewRobustDriver()
 		d.VDD = v
-		amp, err := d.Amplitude()
-		if err != nil {
-			return nil, fmt.Errorf("neuron: robust driver amplitude at VDD=%.2f: %w", v, err)
-		}
-		out = append(out, Point{X: v, Y: amp})
+		pts[i] = charPoint{x: v, key: runner.KeyOf("neuron/robust-driver-amplitude-v1", *d), eval: d.Amplitude}
 	}
-	return out, nil
+	return ch.sweep("robust-driver-amplitude-vs-vdd", pts)
 }
 
 // AHTimeToSpikeVsVDD sweeps the AH first-spike latency against VDD
 // (Fig. 6b mechanism).
-func AHTimeToSpikeVsVDD(vdds []float64) ([]Point, error) {
-	out := make([]Point, 0, len(vdds))
-	for _, v := range vdds {
+func (ch *Characterizer) AHTimeToSpikeVsVDD(vdds []float64) ([]Point, error) {
+	pts := make([]charPoint, len(vdds))
+	for i, v := range vdds {
 		n := NewAxonHillock()
 		n.VDD = v
-		tts, err := n.TimeToSpike(40e-6, 10e-9)
-		if err != nil {
-			return nil, fmt.Errorf("neuron: AH time-to-spike at VDD=%.2f: %w", v, err)
+		pts[i] = charPoint{
+			x:    v,
+			key:  runner.KeyOf("neuron/ah-tts-v1", *n, 40e-6, 10e-9),
+			eval: func() (float64, error) { return n.TimeToSpike(40e-6, 10e-9) },
 		}
-		out = append(out, Point{X: v, Y: tts})
 	}
-	return out, nil
+	return ch.sweep("ah-tts-vs-vdd", pts)
 }
 
 // AHTimeToSpikeVsAmplitude sweeps the AH first-spike latency against
 // input spike amplitude at nominal VDD (Fig. 5c mechanism).
-func AHTimeToSpikeVsAmplitude(amps []float64) ([]Point, error) {
-	out := make([]Point, 0, len(amps))
-	for _, a := range amps {
+func (ch *Characterizer) AHTimeToSpikeVsAmplitude(amps []float64) ([]Point, error) {
+	pts := make([]charPoint, len(amps))
+	for i, a := range amps {
 		n := NewAxonHillock()
 		n.IAmp = a
-		tts, err := n.TimeToSpike(80e-6, 10e-9)
-		if err != nil {
-			return nil, fmt.Errorf("neuron: AH time-to-spike at I=%.3g: %w", a, err)
+		pts[i] = charPoint{
+			x:    a,
+			key:  runner.KeyOf("neuron/ah-tts-v1", *n, 80e-6, 10e-9),
+			eval: func() (float64, error) { return n.TimeToSpike(80e-6, 10e-9) },
 		}
-		out = append(out, Point{X: a, Y: tts})
 	}
-	return out, nil
+	return ch.sweep("ah-tts-vs-amplitude", pts)
 }
 
 // IAFTimeToSpikeVsAmplitude sweeps the I&F first-spike latency against
 // input spike amplitude at nominal VDD (Fig. 5c mechanism).
-func IAFTimeToSpikeVsAmplitude(amps []float64) ([]Point, error) {
-	out := make([]Point, 0, len(amps))
-	for _, a := range amps {
+func (ch *Characterizer) IAFTimeToSpikeVsAmplitude(amps []float64) ([]Point, error) {
+	pts := make([]charPoint, len(amps))
+	for i, a := range amps {
 		n := NewIAF()
 		n.IAmp = a
-		tts, err := n.TimeToSpike(200e-6, 10e-9)
-		if err != nil {
-			return nil, fmt.Errorf("neuron: I&F time-to-spike at I=%.3g: %w", a, err)
+		pts[i] = charPoint{
+			x:    a,
+			key:  runner.KeyOf("neuron/iaf-tts-v1", *n, 200e-6, 10e-9),
+			eval: func() (float64, error) { return n.TimeToSpike(200e-6, 10e-9) },
 		}
-		out = append(out, Point{X: a, Y: tts})
 	}
-	return out, nil
+	return ch.sweep("iaf-tts-vs-amplitude", pts)
 }
 
 // IAFTimeToSpikeVsVDD sweeps the I&F first-spike latency against VDD
 // (Fig. 6c mechanism): higher VDD raises the divider threshold and
 // slows firing.
-func IAFTimeToSpikeVsVDD(vdds []float64) ([]Point, error) {
-	out := make([]Point, 0, len(vdds))
-	for _, v := range vdds {
+func (ch *Characterizer) IAFTimeToSpikeVsVDD(vdds []float64) ([]Point, error) {
+	pts := make([]charPoint, len(vdds))
+	for i, v := range vdds {
 		n := NewIAF()
 		n.VDD = v
-		tts, err := n.TimeToSpike(200e-6, 10e-9)
-		if err != nil {
-			return nil, fmt.Errorf("neuron: I&F time-to-spike at VDD=%.2f: %w", v, err)
+		pts[i] = charPoint{
+			x:    v,
+			key:  runner.KeyOf("neuron/iaf-tts-v1", *n, 200e-6, 10e-9),
+			eval: func() (float64, error) { return n.TimeToSpike(200e-6, 10e-9) },
 		}
-		out = append(out, Point{X: v, Y: tts})
 	}
-	return out, nil
+	return ch.sweep("iaf-tts-vs-vdd", pts)
+}
+
+// ComparatorMeasuredThresholdVsVDD sweeps the comparator neuron's
+// measured firing threshold against VDD (Fig. 10a).
+func (ch *Characterizer) ComparatorMeasuredThresholdVsVDD(vdds []float64) ([]Point, error) {
+	pts := make([]charPoint, len(vdds))
+	for i, v := range vdds {
+		n := NewComparatorAH()
+		n.VDD = v
+		pts[i] = charPoint{
+			x:    v,
+			key:  runner.KeyOf("neuron/comparator-threshold-v1", *n, 40e-6, 10e-9),
+			eval: func() (float64, error) { return n.MeasuredThreshold(40e-6, 10e-9) },
+		}
+	}
+	return ch.sweep("comparator-threshold-vs-vdd", pts)
+}
+
+// ComparatorTimeToSpikeVsVDD sweeps the comparator neuron's first-spike
+// latency against VDD (Fig. 10a).
+func (ch *Characterizer) ComparatorTimeToSpikeVsVDD(vdds []float64) ([]Point, error) {
+	pts := make([]charPoint, len(vdds))
+	for i, v := range vdds {
+		n := NewComparatorAH()
+		n.VDD = v
+		pts[i] = charPoint{
+			x:    v,
+			key:  runner.KeyOf("neuron/comparator-tts-v1", *n, 40e-6, 10e-9),
+			eval: func() (float64, error) { return n.TimeToSpike(40e-6, 10e-9) },
+		}
+	}
+	return ch.sweep("comparator-tts-vs-vdd", pts)
+}
+
+// DummyCountVsVDD sweeps the dummy detector cell's output spike count
+// per sampling window against VDD (Fig. 10c circuit tier).
+func (ch *Characterizer) DummyCountVsVDD(kind DummyKind, window float64, vdds []float64) ([]Point, error) {
+	pts := make([]charPoint, len(vdds))
+	for i, v := range vdds {
+		d := NewDummyNeuron(kind)
+		d.VDD = v
+		pts[i] = charPoint{
+			x:   v,
+			key: runner.KeyOf("neuron/dummy-count-v1", *d, window),
+			eval: func() (float64, error) {
+				n, err := d.SpikeCount(window)
+				return float64(n), err
+			},
+		}
+	}
+	return ch.sweep(fmt.Sprintf("dummy-%v-count-vs-vdd", kind), pts)
+}
+
+// The package-level sweep functions keep the original serial API,
+// executing on the default Characterizer (all CPUs, uncached).
+
+// AHThresholdVsVDD sweeps the AH membrane threshold against VDD (Fig. 6a).
+func AHThresholdVsVDD(vdds []float64) ([]Point, error) { return defaultChar.AHThresholdVsVDD(vdds) }
+
+// AHThresholdVsSizing sweeps the AH threshold against MP1 sizing (Fig. 9c).
+func AHThresholdVsSizing(vdd float64, ratios []float64) ([]Point, error) {
+	return defaultChar.AHThresholdVsSizing(vdd, ratios)
+}
+
+// IAFThresholdVsVDD sweeps the I&F threshold reference against VDD (Fig. 6a).
+func IAFThresholdVsVDD(vdds []float64) ([]Point, error) {
+	return defaultChar.IAFThresholdVsVDD(vdds)
+}
+
+// DriverAmplitudeVsVDD sweeps the driver spike amplitude against VDD (Fig. 5b).
+func DriverAmplitudeVsVDD(vdds []float64) ([]Point, error) {
+	return defaultChar.DriverAmplitudeVsVDD(vdds)
+}
+
+// RobustDriverAmplitudeVsVDD sweeps the defended driver (Fig. 9b).
+func RobustDriverAmplitudeVsVDD(vdds []float64) ([]Point, error) {
+	return defaultChar.RobustDriverAmplitudeVsVDD(vdds)
+}
+
+// AHTimeToSpikeVsVDD sweeps the AH first-spike latency against VDD (Fig. 6b).
+func AHTimeToSpikeVsVDD(vdds []float64) ([]Point, error) {
+	return defaultChar.AHTimeToSpikeVsVDD(vdds)
+}
+
+// AHTimeToSpikeVsAmplitude sweeps the AH latency against input amplitude (Fig. 5c).
+func AHTimeToSpikeVsAmplitude(amps []float64) ([]Point, error) {
+	return defaultChar.AHTimeToSpikeVsAmplitude(amps)
+}
+
+// IAFTimeToSpikeVsAmplitude sweeps the I&F latency against input amplitude (Fig. 5c).
+func IAFTimeToSpikeVsAmplitude(amps []float64) ([]Point, error) {
+	return defaultChar.IAFTimeToSpikeVsAmplitude(amps)
+}
+
+// IAFTimeToSpikeVsVDD sweeps the I&F first-spike latency against VDD (Fig. 6c).
+func IAFTimeToSpikeVsVDD(vdds []float64) ([]Point, error) {
+	return defaultChar.IAFTimeToSpikeVsVDD(vdds)
 }

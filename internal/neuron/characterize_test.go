@@ -1,0 +1,151 @@
+package neuron
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+	"time"
+
+	"snnfi/internal/runner"
+)
+
+// TestCharacterizerDeterministicAcrossWorkers pins the pool contract on
+// the circuit tier: a characterization sweep produces bit-identical
+// points — and bit-identical sink bytes — at every worker width.
+func TestCharacterizerDeterministicAcrossWorkers(t *testing.T) {
+	vdds := []float64{0.8, 1.0, 1.2}
+	type outcome struct {
+		pts  []Point
+		json string
+	}
+	run := func(workers int) outcome {
+		var buf bytes.Buffer
+		sink := runner.NewJSONLSink(&buf)
+		ch := &Characterizer{Workers: workers, Sinks: []runner.Sink{sink}}
+		pts, err := ch.AHThresholdVsVDD(vdds)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if err := sink.Close(); err != nil {
+			t.Fatalf("workers=%d: close sink: %v", workers, err)
+		}
+		return outcome{pts: pts, json: buf.String()}
+	}
+	ref := run(1)
+	for _, w := range []int{2, 4} {
+		got := run(w)
+		for i := range ref.pts {
+			if got.pts[i] != ref.pts[i] {
+				t.Fatalf("workers=%d: point %d = %+v, workers=1 got %+v", w, i, got.pts[i], ref.pts[i])
+			}
+		}
+		if got.json != ref.json {
+			t.Fatalf("workers=%d: sink bytes differ from workers=1", w)
+		}
+	}
+}
+
+// TestCharacterizeParallelSpeedup is the circuit-tier wall-clock bar,
+// mirroring core's TestLayerGridParallelSpeedup: with ≥4 workers an
+// 8-point time-to-spike sweep runs ≥2× faster than serial while
+// producing identical results. Circuit simulation is CPU-bound, so the
+// test needs real cores; on smaller machines the sleep-bound pool test
+// in internal/runner still enforces the concurrency.
+func TestCharacterizeParallelSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test skipped in -short mode")
+	}
+	if runtime.GOMAXPROCS(0) < 4 {
+		t.Skipf("need ≥4 CPUs for a CPU-bound speedup, have %d", runtime.GOMAXPROCS(0))
+	}
+	vdds := []float64{0.8, 0.85, 0.9, 0.95, 1.05, 1.1, 1.15, 1.2}
+	run := func(workers int) ([]Point, time.Duration) {
+		ch := &Characterizer{Workers: workers}
+		start := time.Now()
+		pts, err := ch.AHTimeToSpikeVsVDD(vdds)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return pts, time.Since(start)
+	}
+	serialPts, serial := run(1)
+	parallelPts, parallel := run(4)
+	for i := range serialPts {
+		if serialPts[i] != parallelPts[i] {
+			t.Fatalf("point %d differs: %+v vs %+v", i, serialPts[i], parallelPts[i])
+		}
+	}
+	if parallel > serial/2 {
+		t.Fatalf("4 workers took %v, serial took %v — want ≥2× speedup", parallel, serial)
+	}
+}
+
+// TestCharacterizerCachesByRecipe verifies that a cache-equipped
+// Characterizer simulates each circuit recipe once: re-running a sweep
+// is pure cache hits, and a different sweep sharing recipe points
+// (sizing ratio 1 at VDD = 1.0 is exactly the nominal threshold
+// circuit) reuses them.
+func TestCharacterizerCachesByRecipe(t *testing.T) {
+	ch := NewCharacterizer()
+	cache := ch.Cache.(*runner.MemoryCache[float64])
+	first, err := ch.AHThresholdVsVDD([]float64{0.9, 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, misses0 := cache.Stats()
+	again, err := ch.AHThresholdVsVDD([]float64{0.9, 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, misses1 := cache.Stats()
+	if misses1 != misses0 {
+		t.Fatalf("re-run missed the cache: %d misses before, %d after", misses0, misses1)
+	}
+	for i := range first {
+		if first[i] != again[i] {
+			t.Fatalf("cached point %d = %+v, first run %+v", i, again[i], first[i])
+		}
+	}
+	// Sizing ratio 1 at VDD 1.0 builds the identical AxonHillock recipe,
+	// so the cross-sweep point must be served from the cache too.
+	siz, err := ch.AHThresholdVsSizing(1.0, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, misses2 := cache.Stats()
+	if misses2 != misses1 {
+		t.Fatalf("cross-sweep shared recipe missed the cache: %d misses before, %d after", misses1, misses2)
+	}
+	if siz[0].Y != first[1].Y {
+		t.Fatalf("cross-sweep threshold %.17g != cached %.17g", siz[0].Y, first[1].Y)
+	}
+	// Regression: the cache must carry only the measured value, never
+	// the sweep coordinate — a cache hit from another sweep's axis must
+	// not leak that axis's X (here: the hit comes from the VDD sweep at
+	// 1.0 V, but this sweep's coordinate is the ratio ×1).
+	if siz[0].X != 1 {
+		t.Fatalf("cross-sweep cache hit leaked foreign X: got %v, want ratio 1", siz[0].X)
+	}
+}
+
+// TestCharacterizerCacheKeepsSweepAxis reproduces the cross-axis
+// collision directly at a point where the two axes disagree
+// numerically: VDD sweep at 0.8 V first, then sizing ratio ×1 at
+// VDD = 0.8 — same circuit recipe, different sweep coordinate.
+func TestCharacterizerCacheKeepsSweepAxis(t *testing.T) {
+	ch := NewCharacterizer()
+	vddPts, err := ch.AHThresholdVsVDD([]float64{0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	siz, err := ch.AHThresholdVsSizing(0.8, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if siz[0].X != 1 {
+		t.Fatalf("sizing sweep X = %v, want ratio 1 (cache hit leaked VDD axis)", siz[0].X)
+	}
+	if siz[0].Y != vddPts[0].Y {
+		t.Fatalf("shared recipe must share Y: %.17g vs %.17g", siz[0].Y, vddPts[0].Y)
+	}
+}

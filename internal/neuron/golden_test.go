@@ -1,0 +1,109 @@
+package neuron
+
+import (
+	"math"
+	"testing"
+)
+
+// Golden characterization anchors, captured from the engine BEFORE the
+// incremental-stamping/workspace refactor (PR 3) at the paper's anchor
+// points: the Fig. 5b driver amplitude at 0.8 V and nominal VDD, the
+// Fig. 6a threshold endpoints, the defended driver, and the AH
+// time-to-spike at nominal supply. They pin the solver refactor as
+// behavior-preserving where the paper's transfer maps are anchored.
+//
+// Threshold goldens are exact: the measurement returns a DC-sweep grid
+// point, which only moves if convergence flips a whole grid cell.
+// Amplitude/timing goldens are interpolated/peak measurements of
+// converged transients; the tolerance (1 part in 1e9) is ~1000× the
+// drift Newton convergence noise could produce while being far below
+// any physical effect.
+const goldenRelTol = 1e-9
+
+func relClose(got, want float64) bool {
+	if want == 0 {
+		return got == 0
+	}
+	return math.Abs(got-want) <= goldenRelTol*math.Abs(want)
+}
+
+func TestGoldenDriverAmplitude(t *testing.T) {
+	want := map[float64]float64{
+		0.8: 1.5749450805378025e-07,
+		1.0: 2.1514137498572537e-07,
+		1.2: 2.7354772069126285e-07,
+	}
+	pts, err := DriverAmplitudeVsVDD([]float64{0.8, 1.0, 1.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if !relClose(p.Y, want[p.X]) {
+			t.Errorf("driver amplitude at VDD=%.1f: got %.17g, want %.17g", p.X, p.Y, want[p.X])
+		}
+	}
+	// The paper's Fig. 5b headline: ~ −27% at 0.8 V, ~ +27% here (the
+	// level-1 model swings slightly less than the 32 nm kit's ±32%).
+	if dev := PercentChange(pts[0].Y, pts[1].Y); dev > -20 || dev < -40 {
+		t.Errorf("driver amplitude swing at 0.8 V = %+.1f%%, want ≈ −27%%", dev)
+	}
+}
+
+func TestGoldenThresholdEndpoints(t *testing.T) {
+	wantAH := map[float64]float64{
+		0.8: 0.4020000000000003,
+		1.0: 0.50250000000000028,
+		1.2: 0.60300000000000042,
+	}
+	ah, err := AHThresholdVsVDD([]float64{0.8, 1.0, 1.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range ah {
+		if p.Y != wantAH[p.X] {
+			t.Errorf("AH threshold at VDD=%.1f: got %.17g, want %.17g (grid-exact)", p.X, p.Y, wantAH[p.X])
+		}
+	}
+	iaf, err := IAFThresholdVsVDD([]float64{0.8, 1.0, 1.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIAF := map[float64]float64{0.8: 0.4, 1.0: 0.5, 1.2: 0.6}
+	for _, p := range iaf {
+		if !relClose(p.Y, wantIAF[p.X]) {
+			t.Errorf("I&F threshold at VDD=%.1f: got %.17g, want %.17g", p.X, p.Y, wantIAF[p.X])
+		}
+	}
+}
+
+func TestGoldenRobustDriver(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: robust-driver transients are slow")
+	}
+	want := map[float64]float64{
+		0.8: 2.0002930198309619e-07,
+		1.0: 2.0007496326064341e-07,
+		1.2: 2.0012388571258688e-07,
+	}
+	pts, err := RobustDriverAmplitudeVsVDD([]float64{0.8, 1.0, 1.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if !relClose(p.Y, want[p.X]) {
+			t.Errorf("robust driver at VDD=%.1f: got %.17g, want %.17g", p.X, p.Y, want[p.X])
+		}
+	}
+}
+
+func TestGoldenAHTimeToSpike(t *testing.T) {
+	n := NewAxonHillock()
+	tts, err := n.TimeToSpike(40e-6, 10e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = 5.2650065850230343e-06
+	if !relClose(tts, want) {
+		t.Errorf("AH time-to-spike at nominal VDD: got %.17g, want %.17g", tts, want)
+	}
+}

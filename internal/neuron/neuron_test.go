@@ -172,7 +172,10 @@ func TestIAFMeasuredThresholdMatchesDivider(t *testing.T) {
 }
 
 func TestIAFThresholdScalesLinearlyWithVDD(t *testing.T) {
-	pts := IAFThresholdVsVDD([]float64{0.8, 1.0, 1.2})
+	pts, err := IAFThresholdVsVDD([]float64{0.8, 1.0, 1.2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ref := pts[1].Y
 	if lo := PercentChange(pts[0].Y, ref); math.Abs(lo+20) > 0.5 {
 		t.Fatalf("divider threshold at 0.8 V: %+.2f%%, want −20%%", lo)

@@ -40,11 +40,15 @@ func (o NROptions) withDefaults() NROptions {
 }
 
 // solveNewton runs damped Newton–Raphson from the iterate already in
-// ctx.X. It returns nil when converged.
+// ctx.X. It returns nil when converged. The per-solve system (source
+// waveform values, capacitor companions) is stamped once on entry; the
+// loop re-stamps only iterate-dependent devices and reuses the context
+// workspace, so iterating allocates nothing.
 func (c *Circuit) solveNewton(ctx *Context, opt NROptions) error {
 	opt = opt.withDefaults()
+	c.beginStep(ctx)
 	n := c.NumUnknowns()
-	xNew := make([]float64, n)
+	xNew := ctx.ws.xNew
 	damping := opt.Damping
 	// Last iteration's worst unscaled Newton update, captured before
 	// ctx.X absorbs the (scaled, clamped) step — the honest answer to
@@ -377,9 +381,14 @@ func (c *Circuit) Tran(opt TranOptions) (*TranResult, error) {
 func (c *Circuit) advance(ctx *Context, t0, t1 float64, opt TranOptions, nrOpt NROptions, depth int) error {
 	ctx.Time = t1
 	ctx.Dt = t1 - t0
-	// Save state so a failed attempt can be retried on a finer grid.
-	saveX := append([]float64(nil), ctx.X...)
-	savePrev := append([]float64(nil), ctx.XPrev...)
+	// Save state so a failed attempt can be retried on a finer grid. The
+	// workspace slots are shared across subdivision depths, which is
+	// safe: a depth restores from its saves (or abandons them by
+	// returning the error) strictly before recursing, and never reads
+	// them after the recursive calls begin.
+	saveX, savePrev := ctx.ws.saveX, ctx.ws.savePrev
+	copy(saveX, ctx.X)
+	copy(savePrev, ctx.XPrev)
 
 	err := c.solveNewton(ctx, nrOpt)
 	if err != nil {

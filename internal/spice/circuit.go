@@ -22,23 +22,34 @@ const Ground = "0"
 
 // Circuit is a netlist under construction. Add devices with the R, C,
 // V, I, NMOS, PMOS, OpAmp, ... builder methods, then run OP, DCSweep or
-// Tran.
+// Tran. Element values (resistances, geometries, model cards) must stay
+// fixed for the duration of one analysis — only source waveforms vary,
+// as functions of time. Change values between analyses freely; each
+// analysis rebuilds its stamped base from the current values.
 type Circuit struct {
 	nodeIndex map[string]int
 	nodeNames []string
 	elements  []Element
+	elemIndex map[string]Element
 	branches  int
 
 	// GShunt is a conductance added from every node to ground during
 	// every analysis. It prevents floating-node singularities (e.g. a
 	// membrane capacitor driven only by a current source). Default 1e-9.
 	GShunt float64
+
+	// fullRestamp disables the incremental stamping tiers: every element
+	// re-stamps its full contribution on every Newton iterate, as the
+	// pre-incremental engine did. Kept as a reference path for the
+	// equivalence tests (see incremental_test.go).
+	fullRestamp bool
 }
 
 // New returns an empty circuit.
 func New() *Circuit {
 	return &Circuit{
 		nodeIndex: make(map[string]int),
+		elemIndex: make(map[string]Element),
 		GShunt:    1e-9,
 	}
 }
@@ -73,37 +84,62 @@ func (c *Circuit) NumUnknowns() int { return len(c.nodeNames) + c.branches }
 
 // Add registers an element. Elements that carry branch-current unknowns
 // (voltage sources, op-amps) are assigned their branch index here.
+// Duplicate element names panic: a shadowed device can never be looked
+// up, measured, or swept, so registering one is a programming error
+// (parsers should check Element(name) first and report their own error,
+// as ParseNetlist does).
 func (c *Circuit) Add(e Element) {
+	name := e.Name()
+	if _, dup := c.elemIndex[name]; dup {
+		panic(fmt.Sprintf("spice: duplicate element name %q", name))
+	}
 	if b, ok := e.(branched); ok {
 		b.setBranch(c.branches)
 		c.branches += b.numBranches()
 	}
 	c.elements = append(c.elements, e)
+	c.elemIndex[name] = e
 }
 
 // Elements returns the registered elements in insertion order.
 func (c *Circuit) Elements() []Element { return c.elements }
 
 // Element finds a registered element by name, or nil.
-func (c *Circuit) Element(name string) Element {
-	for _, e := range c.elements {
-		if e.Name() == name {
-			return e
-		}
-	}
-	return nil
-}
+func (c *Circuit) Element(name string) Element { return c.elemIndex[name] }
 
 // Element is anything that can stamp its (linearized) companion model
 // into the MNA system.
 type Element interface {
 	// Name identifies the element for lookup and error messages.
 	Name() string
-	// Stamp adds the element's contribution to ctx.A and ctx.B using the
-	// current Newton iterate ctx.X and, in transient mode, the previous
-	// accepted solution ctx.XPrev.
+	// Stamp adds the element's full contribution to ctx.A and ctx.B
+	// using the current Newton iterate ctx.X and, in transient mode, the
+	// previous accepted solution ctx.XPrev. Elements that also implement
+	// the incremental tiers below must keep Stamp equal to the sum of
+	// their tier stamps; the engine calls the tiers when available and
+	// falls back to Stamp per Newton iterate otherwise.
 	Stamp(ctx *Context)
 }
+
+// The incremental stamping tiers. The solve pipeline splits assembly
+// into three levels so the Newton inner loop re-stamps only what can
+// actually change:
+//
+//   - constStamper: contributions fixed for a whole analysis — pure
+//     element values and source/branch topology (R, VCVS, the ±1 source
+//     rows). Stamped once per analysis into the base system.
+//   - stepStamper: contributions fixed across the Newton iterates of
+//     one solve — functions of Time, Dt, XPrev and SrcScale but not of
+//     the iterate X (capacitor companions, source waveform values).
+//     Stamped once per solve on top of the base.
+//   - iterStamper: contributions that depend on the Newton iterate X
+//     (MOSFETs, op-amp limiting). Re-stamped every iterate.
+//
+// An element may implement any subset; each implemented tier is called
+// exactly once per its cadence.
+type constStamper interface{ StampConst(ctx *Context) }
+type stepStamper interface{ StampStep(ctx *Context) }
+type iterStamper interface{ StampIter(ctx *Context) }
 
 // branched is implemented by elements that introduce extra MNA unknowns
 // (branch currents).
@@ -138,6 +174,41 @@ type Context struct {
 	Gmin     float64 // junction gmin added by nonlinear devices
 	SrcScale float64 // independent-source scale factor (source stepping)
 	Method   Integrator
+
+	ws *workspace // solver workspace, reused across iterates and steps
+}
+
+// workspace holds every buffer the solve pipeline needs — the stamped
+// base and step systems, Newton scratch vectors, and subdivision save
+// slots — allocated once per analysis context so the Newton inner loop
+// and the transient stepper are allocation-free.
+type workspace struct {
+	n int
+
+	aBack []float64 // backing array of ctx.A (row headers are reset per iterate)
+
+	// Analysis-constant stamps: GShunt + constStamper contributions.
+	baseA, baseB []float64
+	baseRows     [][]float64
+
+	// base + stepStamper contributions, rebuilt at the top of each solve.
+	stepA, stepB []float64
+	stepRows     [][]float64
+
+	// Newton scratch and transient-subdivision save slots.
+	xNew, saveX, savePrev []float64
+
+	// Element partition by stamping tier (legacy: elements implementing
+	// no tier interface, re-stamped fully per iterate).
+	consts, steps, iters, legacy []Element
+}
+
+func rowViews(back []float64, n int) [][]float64 {
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = back[i*n : (i+1)*n]
+	}
+	return rows
 }
 
 // Integrator selects the transient companion-model discretization.
@@ -214,55 +285,126 @@ func (ctx *Context) StampCurrent(a, b int, i float64) {
 // BranchIndex converts a branch number into its MNA unknown index.
 func (ctx *Context) BranchIndex(branch int) int { return ctx.N + branch }
 
-// newContext allocates an assembly context for the circuit.
+// newContext allocates an assembly context for the circuit, partitions
+// the elements by stamping tier, and builds the analysis-constant base
+// system from the circuit's current element values.
 func (c *Circuit) newContext() *Context {
 	n := c.NumUnknowns()
-	a := make([][]float64, n)
-	backing := make([]float64, n*n)
-	for i := range a {
-		a[i] = backing[i*n : (i+1)*n]
+	ws := &workspace{
+		n:     n,
+		aBack: make([]float64, n*n),
+		baseA: make([]float64, n*n),
+		baseB: make([]float64, n),
+		stepA: make([]float64, n*n),
+		stepB: make([]float64, n),
+		xNew:  make([]float64, n),
+		saveX: make([]float64, n),
+		// savePrev doubles as the XPrev save slot in transient
+		// subdivision; allocate it with everything else.
+		savePrev: make([]float64, n),
 	}
-	return &Context{
+	ws.baseRows = rowViews(ws.baseA, n)
+	ws.stepRows = rowViews(ws.stepA, n)
+	for _, e := range c.elements {
+		split := false
+		if !c.fullRestamp {
+			if _, ok := e.(constStamper); ok {
+				ws.consts, split = append(ws.consts, e), true
+			}
+			if _, ok := e.(stepStamper); ok {
+				ws.steps, split = append(ws.steps, e), true
+			}
+			if _, ok := e.(iterStamper); ok {
+				ws.iters, split = append(ws.iters, e), true
+			}
+		}
+		if !split {
+			ws.legacy = append(ws.legacy, e)
+		}
+	}
+	ctx := &Context{
 		N:        c.NumNodes(),
-		A:        a,
+		A:        rowViews(ws.aBack, n),
 		B:        make([]float64, n),
 		X:        make([]float64, n),
 		SrcScale: 1,
+		ws:       ws,
 	}
+	c.prepareBase(ctx)
+	return ctx
 }
 
-// assemble clears and re-stamps the full system for the current iterate.
-func (c *Circuit) assemble(ctx *Context) {
-	n := len(ctx.B)
-	for i := 0; i < n; i++ {
-		row := ctx.A[i]
-		for j := range row {
-			row[j] = 0
-		}
-		ctx.B[i] = 0
+// stampInto redirects ctx's stamping target to the given system, runs
+// the stamps, and restores the target. Stamp helpers (AddA, AddB, ...)
+// always write through ctx.A/ctx.B, so tier stamps reuse them verbatim.
+func (ctx *Context) stampInto(rows [][]float64, b []float64, stamp func()) {
+	saveA, saveB := ctx.A, ctx.B
+	ctx.A, ctx.B = rows, b
+	stamp()
+	ctx.A, ctx.B = saveA, saveB
+}
+
+// prepareBase (re)builds the analysis-constant system: the global
+// ground shunt plus every constStamper contribution.
+func (c *Circuit) prepareBase(ctx *Context) {
+	ws := ctx.ws
+	for i := range ws.baseA {
+		ws.baseA[i] = 0
+	}
+	for i := range ws.baseB {
+		ws.baseB[i] = 0
 	}
 	// Global shunt to ground keeps otherwise-floating nodes anchored.
 	if c.GShunt > 0 {
 		for i := 0; i < ctx.N; i++ {
-			ctx.A[i][i] += c.GShunt
+			ws.baseA[i*ws.n+i] += c.GShunt
 		}
 	}
-	for _, e := range c.elements {
+	ctx.stampInto(ws.baseRows, ws.baseB, func() {
+		for _, e := range ws.consts {
+			e.(constStamper).StampConst(ctx)
+		}
+	})
+}
+
+// beginStep rebuilds the per-solve system: the base plus every
+// stepStamper contribution at the solve's (Time, Dt, XPrev, SrcScale).
+// Called at the top of each Newton solve.
+func (c *Circuit) beginStep(ctx *Context) {
+	ws := ctx.ws
+	copy(ws.stepA, ws.baseA)
+	copy(ws.stepB, ws.baseB)
+	ctx.stampInto(ws.stepRows, ws.stepB, func() {
+		for _, e := range ws.steps {
+			e.(stepStamper).StampStep(ctx)
+		}
+	})
+}
+
+// assemble loads the per-solve system into the iterate matrix and
+// re-stamps only the iterate-dependent contributions. LU pivoting
+// permutes ctx.A's row headers in place, so they are re-canonicalized
+// against the backing array before the flat copy.
+func (c *Circuit) assemble(ctx *Context) {
+	ws := ctx.ws
+	for i := range ctx.A {
+		ctx.A[i] = ws.aBack[i*ws.n : (i+1)*ws.n]
+	}
+	copy(ws.aBack, ws.stepA)
+	copy(ctx.B, ws.stepB)
+	for _, e := range ws.iters {
+		e.(iterStamper).StampIter(ctx)
+	}
+	for _, e := range ws.legacy {
 		e.Stamp(ctx)
 	}
 }
 
-// Validate performs basic netlist sanity checks: duplicate element
-// names and nodes that appear in only one device terminal (excluding
-// ground). It returns nil when the netlist looks well-formed.
+// Validate performs basic netlist sanity checks: nodes that appear in
+// only one device terminal (excluding ground). It returns nil when the
+// netlist looks well-formed. (Duplicate element names are rejected at
+// Add time and can no longer reach Validate.)
 func (c *Circuit) Validate() error {
-	seen := make(map[string]bool, len(c.elements))
-	for _, e := range c.elements {
-		if seen[e.Name()] {
-			return fmt.Errorf("spice: duplicate element name %q", e.Name())
-		}
-		seen[e.Name()] = true
-	}
 	degree := make(map[int]int)
 	for _, e := range c.elements {
 		if t, ok := e.(interface{ Terminals() []int }); ok {

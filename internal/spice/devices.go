@@ -22,10 +22,14 @@ func (r *Resistor) Name() string { return r.name }
 // Terminals returns the connected node indices.
 func (r *Resistor) Terminals() []int { return []int{r.a, r.b} }
 
-// Stamp implements Element.
-func (r *Resistor) Stamp(ctx *Context) {
+// StampConst implements constStamper: a resistance is fixed for the
+// whole analysis.
+func (r *Resistor) StampConst(ctx *Context) {
 	ctx.StampConductance(r.a, r.b, 1/r.Ohms)
 }
+
+// Stamp implements Element.
+func (r *Resistor) Stamp(ctx *Context) { r.StampConst(ctx) }
 
 // Current returns the current flowing a→b for a solved vector x.
 func (r *Resistor) Current(ctx *Context) float64 {
@@ -56,8 +60,10 @@ func (cp *Capacitor) Name() string { return cp.name }
 // Terminals returns the connected node indices.
 func (cp *Capacitor) Terminals() []int { return []int{cp.a, cp.b} }
 
-// Stamp implements Element.
-func (cp *Capacitor) Stamp(ctx *Context) {
+// StampStep implements stepStamper: the companion conductance and
+// equivalent current depend on Dt and the previous accepted solution,
+// both fixed across the Newton iterates of one solve.
+func (cp *Capacitor) StampStep(ctx *Context) {
 	if ctx.DC || ctx.Dt <= 0 {
 		return // open circuit at DC
 	}
@@ -76,6 +82,9 @@ func (cp *Capacitor) Stamp(ctx *Context) {
 	ctx.StampConductance(cp.a, cp.b, g)
 	ctx.StampCurrent(cp.a, cp.b, -g*vPrev)
 }
+
+// Stamp implements Element.
+func (cp *Capacitor) Stamp(ctx *Context) { cp.StampStep(ctx) }
 
 // accept implements stateful: records the capacitor current at the
 // accepted solution for the trapezoidal method.
@@ -121,14 +130,26 @@ func (v *VSource) Terminals() []int { return []int{v.p, v.n} }
 func (v *VSource) setBranch(i int)  { v.branch = i }
 func (v *VSource) numBranches() int { return 1 }
 
-// Stamp implements Element.
-func (v *VSource) Stamp(ctx *Context) {
+// StampConst implements constStamper: the branch-current topology rows
+// are pure ±1 structure.
+func (v *VSource) StampConst(ctx *Context) {
 	k := ctx.BranchIndex(v.branch)
 	ctx.AddA(v.p, k, 1)
 	ctx.AddA(v.n, k, -1)
 	ctx.AddA(k, v.p, 1)
 	ctx.AddA(k, v.n, -1)
-	ctx.AddB(k, v.W.At(ctx.Time)*ctx.SrcScale)
+}
+
+// StampStep implements stepStamper: the enforced voltage is the
+// waveform value at the solve time, scaled by source stepping.
+func (v *VSource) StampStep(ctx *Context) {
+	ctx.AddB(ctx.BranchIndex(v.branch), v.W.At(ctx.Time)*ctx.SrcScale)
+}
+
+// Stamp implements Element.
+func (v *VSource) Stamp(ctx *Context) {
+	v.StampConst(ctx)
+	v.StampStep(ctx)
 }
 
 // BranchCurrent returns the source branch current (flowing from the +
@@ -160,20 +181,25 @@ func (i *ISource) Name() string { return i.name }
 // Terminals returns the connected node indices.
 func (i *ISource) Terminals() []int { return []int{i.a, i.b} }
 
-// Stamp implements Element.
+// StampStep implements stepStamper.
 //
 // In transient mode the waveform is averaged over the step rather than
 // point-sampled: pulse trains narrower than the timestep would
 // otherwise alias (a spike train with period equal to dt can sample as
 // identically zero), and the step average is exactly the charge the
-// step delivers, which is what integrating nodes care about.
-func (i *ISource) Stamp(ctx *Context) {
+// step delivers, which is what integrating nodes care about. Stamping
+// at step cadence also evaluates the 32-sample average once per solve
+// instead of once per Newton iterate.
+func (i *ISource) StampStep(ctx *Context) {
 	val := i.W.At(ctx.Time)
 	if !ctx.DC && ctx.Dt > 0 {
 		val = stepAverage(i.W, ctx.Time-ctx.Dt, ctx.Time)
 	}
 	ctx.StampCurrent(i.a, i.b, val*ctx.SrcScale)
 }
+
+// Stamp implements Element.
+func (i *ISource) Stamp(ctx *Context) { i.StampStep(ctx) }
 
 // stepAverage numerically averages a waveform over [t0, t1] with
 // midpoint sampling. 32 samples resolve pulse edges to ~3% of a step.
@@ -256,18 +282,31 @@ func (o *OpAmp) transfer(vd float64) (f, df float64) {
 	return f, df
 }
 
-// Stamp implements Element.
-func (o *OpAmp) Stamp(ctx *Context) {
+// StampConst implements constStamper: the output-branch topology.
+func (o *OpAmp) StampConst(ctx *Context) {
+	k := ctx.BranchIndex(o.branch)
+	// Branch current flows from the op-amp output stage into node out.
+	ctx.AddA(o.out, k, 1)
+	// Constraint row: V(out) − f(vd) = 0 — the V(out) coefficient is
+	// structural; the linearized f(vd) terms are iterate-dependent.
+	ctx.AddA(k, o.out, 1)
+}
+
+// StampIter implements iterStamper: the saturating transfer linearized
+// at the current iterate.
+func (o *OpAmp) StampIter(ctx *Context) {
 	k := ctx.BranchIndex(o.branch)
 	vd := ctx.V(o.inP) - ctx.V(o.inN)
 	f, df := o.transfer(vd)
-	// Branch current flows from the op-amp output stage into node out.
-	ctx.AddA(o.out, k, 1)
-	// Constraint row: V(out) − f(vd) = 0, linearized.
-	ctx.AddA(k, o.out, 1)
 	ctx.AddA(k, o.inP, -df)
 	ctx.AddA(k, o.inN, df)
 	ctx.AddB(k, f-df*vd)
+}
+
+// Stamp implements Element.
+func (o *OpAmp) Stamp(ctx *Context) {
+	o.StampConst(ctx)
+	o.StampIter(ctx)
 }
 
 // VCVS is a linear voltage-controlled voltage source:
@@ -299,8 +338,9 @@ func (e *VCVS) Terminals() []int { return []int{e.p, e.n, e.cp, e.cn} }
 func (e *VCVS) setBranch(i int)  { e.branch = i }
 func (e *VCVS) numBranches() int { return 1 }
 
-// Stamp implements Element.
-func (e *VCVS) Stamp(ctx *Context) {
+// StampConst implements constStamper: a linear controlled source is
+// pure constant structure.
+func (e *VCVS) StampConst(ctx *Context) {
 	k := ctx.BranchIndex(e.branch)
 	ctx.AddA(e.p, k, 1)
 	ctx.AddA(e.n, k, -1)
@@ -309,3 +349,6 @@ func (e *VCVS) Stamp(ctx *Context) {
 	ctx.AddA(k, e.cp, -e.Gain)
 	ctx.AddA(k, e.cn, e.Gain)
 }
+
+// Stamp implements Element.
+func (e *VCVS) Stamp(ctx *Context) { e.StampConst(ctx) }

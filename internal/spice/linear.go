@@ -11,14 +11,14 @@ var ErrSingular = errors.New("spice: singular MNA matrix")
 
 // luSolve solves A·x = b in place using LU decomposition with partial
 // pivoting. A and b are overwritten; the solution is returned in b's
-// storage. The matrices involved are small (tens of unknowns), so a
-// dense direct solve is the right tool.
+// storage, and row pivoting permutes A's row headers (callers that
+// reuse A's backing array re-canonicalize the headers — see
+// Circuit.assemble). The matrices involved are small (tens of
+// unknowns), so a dense direct solve is the right tool. The routine
+// allocates nothing: pivoting swaps row headers and b entries in
+// place, so no separate pivot array is needed.
 func luSolve(a [][]float64, b []float64) error {
 	n := len(b)
-	perm := make([]int, n)
-	for i := range perm {
-		perm[i] = i
-	}
 	for col := 0; col < n; col++ {
 		// Partial pivot: pick the largest magnitude in this column.
 		pivRow, pivVal := col, math.Abs(a[col][col])
@@ -33,7 +33,6 @@ func luSolve(a [][]float64, b []float64) error {
 		if pivRow != col {
 			a[pivRow], a[col] = a[col], a[pivRow]
 			b[pivRow], b[col] = b[col], b[pivRow]
-			perm[pivRow], perm[col] = perm[col], perm[pivRow]
 		}
 		inv := 1 / a[col][col]
 		for r := col + 1; r < n; r++ {

@@ -144,8 +144,10 @@ func (m *MOSFET) Current(ctx *Context) float64 {
 	return pol * id
 }
 
-// Stamp implements Element.
-func (m *MOSFET) Stamp(ctx *Context) {
+// StampIter implements iterStamper: the transistor linearization is a
+// function of the Newton iterate, so the whole stamp is per-iterate
+// (including the gmin aid, which gmin stepping varies between solves).
+func (m *MOSFET) StampIter(ctx *Context) {
 	vd, vg, vs := ctx.V(m.d), ctx.V(m.g), ctx.V(m.s)
 	pol := 1.0
 	if m.P.Type == PMOS {
@@ -174,3 +176,6 @@ func (m *MOSFET) Stamp(ctx *Context) {
 	ctx.AddA(m.s, m.d, -gds)
 	ctx.StampCurrent(m.d, m.s, pol*ieq)
 }
+
+// Stamp implements Element.
+func (m *MOSFET) Stamp(ctx *Context) { m.StampIter(ctx) }

@@ -73,6 +73,12 @@ func parseCard(c *Circuit, line string) error {
 		return nil
 	}
 	name := fields[0]
+	// Add panics on duplicate names (a programming error when building
+	// circuits in code); a text deck is user input, so report it as a
+	// parse error instead.
+	if c.Element(name) != nil {
+		return fmt.Errorf("duplicate element name %q", name)
+	}
 	switch strings.ToUpper(name[:1]) {
 	case "R":
 		if len(fields) != 4 {

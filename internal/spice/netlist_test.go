@@ -158,6 +158,19 @@ func TestParseNetlistErrors(t *testing.T) {
 	}
 }
 
+func TestParseNetlistDuplicateName(t *testing.T) {
+	// A deck is user input: a duplicate card must surface as a parse
+	// error (with the offending line), never as Add's panic.
+	deck := "V1 in 0 DC 1\nR1 in out 1k\nR1 out 0 1k\n"
+	_, err := ParseNetlist(deck)
+	if err == nil {
+		t.Fatal("duplicate card should fail to parse")
+	}
+	if !strings.Contains(err.Error(), "line 3") || !strings.Contains(err.Error(), `"R1"`) {
+		t.Fatalf("error should name the line and element, got: %v", err)
+	}
+}
+
 func TestParseNetlistAxonHillockDeck(t *testing.T) {
 	// The full Axon Hillock neuron as a text deck: same topology as
 	// neuron.NewAxonHillock().Build(), exercising every card type the

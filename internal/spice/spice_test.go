@@ -247,12 +247,29 @@ func TestVCVSGain(t *testing.T) {
 	almostEqual(t, ctx.V(c.Node("out")), 0.75, 1e-6, "VCVS output")
 }
 
-func TestValidateDuplicateName(t *testing.T) {
+func TestAddDuplicateNamePanics(t *testing.T) {
 	c := New()
 	c.R("R1", "a", "0", 1e3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate element name")
+		}
+	}()
 	c.R("R1", "a", "0", 1e3)
-	if err := c.Validate(); err == nil {
-		t.Fatal("expected duplicate-name error")
+}
+
+func TestElementLookup(t *testing.T) {
+	c := New()
+	v := c.V("V1", "in", "0", DC(1))
+	r := c.R("R1", "in", "0", 1e3)
+	if got := c.Element("V1"); got != Element(v) {
+		t.Fatalf("Element(V1) = %v, want the registered source", got)
+	}
+	if got := c.Element("R1"); got != Element(r) {
+		t.Fatalf("Element(R1) = %v, want the registered resistor", got)
+	}
+	if got := c.Element("nope"); got != nil {
+		t.Fatalf("Element(nope) = %v, want nil", got)
 	}
 }
 

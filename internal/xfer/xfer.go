@@ -24,7 +24,11 @@ type Curve struct {
 	X, Y []float64
 }
 
-// NewCurve builds a curve, validating monotone X.
+// NewCurve builds a curve, validating that X is strictly increasing and
+// Y is strictly monotone (increasing or decreasing) when it has more
+// than one point. Monotone Y is what makes Inverse well defined; every
+// transfer map in this package is a bijection over its anchored range,
+// and a non-monotone Y is a sign the anchors were entered wrong.
 func NewCurve(x, y []float64) (Curve, error) {
 	if len(x) != len(y) || len(x) == 0 {
 		return Curve{}, fmt.Errorf("xfer: need equal non-empty X/Y, got %d/%d", len(x), len(y))
@@ -32,6 +36,14 @@ func NewCurve(x, y []float64) (Curve, error) {
 	for i := 1; i < len(x); i++ {
 		if x[i] <= x[i-1] {
 			return Curve{}, fmt.Errorf("xfer: X must be strictly increasing at %d", i)
+		}
+	}
+	if len(y) > 1 {
+		increasing := y[1] > y[0]
+		for i := 1; i < len(y); i++ {
+			if y[i] == y[i-1] || (y[i] > y[i-1]) != increasing {
+				return Curve{}, fmt.Errorf("xfer: Y must be strictly monotone, violated at %d", i)
+			}
 		}
 	}
 	return Curve{X: x, Y: y}, nil
@@ -62,20 +74,39 @@ func (c Curve) At(x float64) float64 {
 	return c.Y[i-1] + f*(c.Y[i]-c.Y[i-1])
 }
 
-// Inverse evaluates x such that At(x) = y for a strictly monotone
-// increasing curve.
+// Inverse evaluates x such that At(x) = y. The curve's Y must be
+// strictly monotone (which NewCurve enforces); both orientations are
+// supported — a decreasing curve (e.g. time-to-spike vs VDD) inverts
+// just as an increasing one does. Out-of-range y clamps to the end
+// whose Y value is nearest, matching At's constant extrapolation.
 func (c Curve) Inverse(y float64) float64 {
 	n := len(c.Y)
 	if n == 0 {
 		return 0
 	}
-	if y <= c.Y[0] {
+	if n == 1 {
 		return c.X[0]
 	}
-	if y >= c.Y[n-1] {
+	if c.Y[0] < c.Y[n-1] {
+		// Increasing Y: bracket with an ascending binary search.
+		if y <= c.Y[0] {
+			return c.X[0]
+		}
+		if y >= c.Y[n-1] {
+			return c.X[n-1]
+		}
+		i := sort.SearchFloat64s(c.Y, y)
+		f := (y - c.Y[i-1]) / (c.Y[i] - c.Y[i-1])
+		return c.X[i-1] + f*(c.X[i]-c.X[i-1])
+	}
+	// Decreasing Y: the clamps swap ends and the bracket predicate flips.
+	if y >= c.Y[0] {
+		return c.X[0]
+	}
+	if y <= c.Y[n-1] {
 		return c.X[n-1]
 	}
-	i := sort.SearchFloat64s(c.Y, y)
+	i := sort.Search(n, func(k int) bool { return c.Y[k] <= y })
 	f := (y - c.Y[i-1]) / (c.Y[i] - c.Y[i-1])
 	return c.X[i-1] + f*(c.X[i]-c.X[i-1])
 }

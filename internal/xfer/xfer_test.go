@@ -32,6 +32,17 @@ func TestCurveValidation(t *testing.T) {
 	if _, err := NewCurve(nil, nil); err == nil {
 		t.Fatal("empty curve must fail")
 	}
+	// Y must be strictly monotone in either orientation: a kink or a
+	// flat segment makes Inverse ill defined.
+	if _, err := NewCurve([]float64{0, 1, 2}, []float64{1, 3, 2}); err == nil {
+		t.Fatal("non-monotone Y must fail")
+	}
+	if _, err := NewCurve([]float64{0, 1, 2}, []float64{3, 2, 2}); err == nil {
+		t.Fatal("flat Y segment must fail")
+	}
+	if _, err := NewCurve([]float64{0, 1, 2}, []float64{3, 2, 1}); err != nil {
+		t.Fatalf("strictly decreasing Y must be accepted: %v", err)
+	}
 }
 
 func TestCurveInverseRoundTrip(t *testing.T) {
@@ -44,6 +55,48 @@ func TestCurveInverseRoundTrip(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{Rand: rand.New(rand.NewSource(1))}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestCurveInverseDecreasing pins the decreasing-orientation inverse:
+// a time-to-spike-vs-VDD-style curve (falling Y) must round-trip just
+// like an increasing one, which the old ascending-only binary search
+// got silently wrong.
+func TestCurveInverseDecreasing(t *testing.T) {
+	// Shape of a time-to-spike vs amplitude curve: more drive, faster spike.
+	c, err := NewCurve([]float64{0.8, 1.0, 1.2}, []float64{1.537, 1.0, 0.753})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact knots.
+	for i := range c.X {
+		if got := c.Inverse(c.Y[i]); math.Abs(got-c.X[i]) > 1e-12 {
+			t.Fatalf("Inverse(%v) = %v, want knot %v", c.Y[i], got, c.X[i])
+		}
+	}
+	// Interior round trips.
+	f := func(raw float64) bool {
+		x := 0.8 + math.Mod(math.Abs(raw), 0.4)
+		return math.Abs(c.Inverse(c.At(x))-x) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Fatal(err)
+	}
+	// Out-of-range clamps mirror At's constant extrapolation: y above
+	// the start clamps to the low-X end, y below the last to the high-X end.
+	if got := c.Inverse(2.0); got != 0.8 {
+		t.Fatalf("Inverse above range = %v, want 0.8", got)
+	}
+	if got := c.Inverse(0.1); got != 1.2 {
+		t.Fatalf("Inverse below range = %v, want 1.2", got)
+	}
+	// Single-point curves degenerate to their only X.
+	one, err := NewCurve([]float64{3}, []float64{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := one.Inverse(0); got != 3 {
+		t.Fatalf("single-point Inverse = %v, want 3", got)
 	}
 }
 

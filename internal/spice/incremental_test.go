@@ -1,0 +1,146 @@
+package spice
+
+import (
+	"math"
+	"testing"
+)
+
+// buildNeuronish constructs a small feedback-heavy MOS circuit with
+// every element class the neuron netlists use (sources, caps, MOSFETs,
+// resistor), mirroring the Axon Hillock topology: membrane capacitor,
+// two-inverter amplifier, capacitive feedback, gated reset.
+func buildNeuronish(full bool) *Circuit {
+	c := New()
+	c.fullRestamp = full
+	c.V("VDD", "vdd", "0", DC(1.0))
+	c.V("VPW", "vpw", "0", DC(0.42))
+	c.I("IIN", "0", "vmem", SpikeTrain{Amp: 200e-9, Width: 25e-9, Period: 25e-9})
+	c.C("CMEM", "vmem", "0", 1e-12)
+	c.C("CFB", "vout", "vmem", 1e-12)
+	c.PMOSDev("MP1", "n1", "vmem", "vdd", 2e-6, 100e-9, PMOS65())
+	c.NMOSDev("MN3", "n1", "vmem", "0", 1e-6, 100e-9, NMOS65())
+	c.PMOSDev("MP2", "vout", "n1", "vdd", 2e-6, 100e-9, PMOS65())
+	c.NMOSDev("MN4", "vout", "n1", "0", 1e-6, 100e-9, NMOS65())
+	c.NMOSDev("MN1", "vmem", "vout", "r", 2e-6, 100e-9, NMOS65())
+	c.NMOSDev("MN2", "r", "vpw", "0", 1e-6, 200e-9, NMOS65())
+	c.C("CPN1", "n1", "0", 5e-15)
+	c.C("CPR", "r", "0", 2e-15)
+	return c
+}
+
+// TestIncrementalMatchesFullRestamp_Tran pins the incremental solve
+// pipeline (const/step/iter stamp tiers + workspace reuse) to the
+// full-restamp reference on a regeneratively spiking transient.
+func TestIncrementalMatchesFullRestamp_Tran(t *testing.T) {
+	opt := TranOptions{Dt: 10e-9, Stop: 4e-6, UIC: true}
+	inc, err := buildNeuronish(false).Tran(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := buildNeuronish(true).Tran(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inc.Time) != len(ref.Time) {
+		t.Fatalf("point counts differ: %d vs %d", len(inc.Time), len(ref.Time))
+	}
+	for _, node := range []string{"vmem", "n1", "vout", "r"} {
+		vi, vr := inc.V(node), ref.V(node)
+		for k := range vi {
+			if d := math.Abs(vi[k] - vr[k]); d > 1e-9 {
+				t.Fatalf("%s at t=%g differs by %g (inc %g, ref %g)",
+					node, inc.Time[k], d, vi[k], vr[k])
+			}
+		}
+	}
+}
+
+// TestIncrementalMatchesFullRestamp_DCSweep compares an inverter VTC —
+// the membrane-threshold measurement path — point by point.
+func TestIncrementalMatchesFullRestamp_DCSweep(t *testing.T) {
+	build := func(full bool) *Circuit {
+		c := New()
+		c.fullRestamp = full
+		c.V("VDD", "vdd", "0", DC(1.0))
+		c.V("VIN", "in", "0", DC(0))
+		c.PMOSDev("MP", "out", "in", "vdd", 2e-6, 100e-9, PMOS65())
+		c.NMOSDev("MN", "out", "in", "0", 1e-6, 100e-9, NMOS65())
+		return c
+	}
+	var sweep []float64
+	for v := 0.0; v <= 1.0001; v += 0.0025 {
+		sweep = append(sweep, v)
+	}
+	inc, err := build(false).DCSweep("VIN", sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := build(true).DCSweep("VIN", sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vi, vr := inc.V("out"), ref.V("out")
+	for k := range sweep {
+		if d := math.Abs(vi[k] - vr[k]); d > 1e-9 {
+			t.Fatalf("VTC at vin=%g differs by %g", sweep[k], d)
+		}
+	}
+}
+
+// TestIncrementalMatchesFullRestamp_OpAmp covers the op-amp split
+// (const topology rows vs iterate-dependent linearization) through the
+// robust-driver regulation loop.
+func TestIncrementalMatchesFullRestamp_OpAmp(t *testing.T) {
+	build := func(full bool) *Circuit {
+		c := New()
+		c.fullRestamp = full
+		ramp, _ := NewPWL([]float64{0, 2e-6}, []float64{0, 1.0})
+		c.V("VDD", "vdd", "0", ramp)
+		c.V("VREF", "vref", "0", DC(0.5))
+		c.R("RREFK", "vref", "0", 10e6)
+		c.OpAmp("U1", "fb", "vref", "g", 1e3, 0, 1.0)
+		c.PMOSDev("MP1", "fb", "g", "vdd", 2e-6, 400e-9, PMOS65())
+		c.R("R1", "fb", "0", 2.5e6)
+		c.C("CC", "fb", "0", 1e-12)
+		c.E("E1", "mon", "0", "fb", "0", 2.0)
+		c.R("RMON", "mon", "0", 1e6)
+		return c
+	}
+	opt := TranOptions{Dt: 20e-9, Stop: 5e-6, UIC: true}
+	inc, err := build(false).Tran(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := build(true).Tran(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, node := range []string{"fb", "g", "mon"} {
+		vi, vr := inc.V(node), ref.V(node)
+		for k := range vi {
+			if d := math.Abs(vi[k] - vr[k]); d > 1e-9 {
+				t.Fatalf("%s at t=%g differs by %g", node, inc.Time[k], d)
+			}
+		}
+	}
+}
+
+// TestSolveNewtonAllocationFree pins the workspace-reuse contract: once
+// a context exists, Newton solves allocate nothing.
+func TestSolveNewtonAllocationFree(t *testing.T) {
+	c := buildNeuronish(false)
+	ctx := c.newContext()
+	ctx.DC = true
+	ctx.Gmin = 1e-12
+	if err := c.solveRobust(ctx, NROptions{}); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := c.solveNewton(ctx, NROptions{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("solveNewton allocated %.1f objects per solve, want 0", allocs)
+	}
+}

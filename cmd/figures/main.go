@@ -44,13 +44,14 @@ func main() {
 		workers  = flag.Int("workers", 0, "sweep worker-pool size (0 = all CPUs)")
 		jsonl    = flag.String("jsonl", "", "optional JSONL file streaming every sweep point")
 		progress = flag.Bool("progress", false, "log each completed sweep cell to stderr")
+		cacheDir = flag.String("cache-dir", "", "optional directory persisting trained/measured results, so a killed run resumes with only the missing cells recomputed")
 	)
 	flag.Parse()
 
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		fatal(err)
 	}
-	r := &figRunner{nImages: *nImages, dataDir: *dataDir, outDir: *outDir, workers: *workers}
+	r := &figRunner{nImages: *nImages, dataDir: *dataDir, outDir: *outDir, workers: *workers, cacheDir: *cacheDir}
 	if *progress {
 		r.progress = func(p runner.Progress) {
 			note := ""
@@ -77,6 +78,17 @@ func main() {
 	r.char.Workers = r.workers
 	r.char.OnProgress = r.progress
 	r.char.Sinks = r.sinks
+	if *cacheDir != "" {
+		// Circuit measurements persist beside the network results
+		// (separate subdirectory, same lifecycle): repeated figure runs
+		// re-measure nothing.
+		disk, err := runner.NewDiskCache[float64](filepath.Join(*cacheDir, "circuit"))
+		if err != nil {
+			fatal(err)
+		}
+		r.char.Cache = runner.NewTiered[float64](r.char.Cache, disk)
+		r.circuitDisk = disk
+	}
 
 	all := []string{"F3", "F4", "F5b", "F5c", "F6a", "F6b", "F6c", "F7b", "F8a", "F8b", "F8c", "F9a", "F9b", "F9c", "F10a", "F10c", "D1", "D2", "D3", "E1", "E2"}
 	want := map[string]bool{}
@@ -96,6 +108,14 @@ func main() {
 		if cerr := sink.Close(); err == nil {
 			err = cerr
 		}
+	}
+	// A campaign whose results failed to persist is not resumable —
+	// say so instead of exiting 0.
+	if cerr := r.circuitDisk.Err(); err == nil && cerr != nil {
+		err = fmt.Errorf("circuit cache: %w", cerr)
+	}
+	if cerr := r.networkDisk.Err(); err == nil && cerr != nil {
+		err = fmt.Errorf("network cache: %w", cerr)
 	}
 	if err != nil {
 		fatal(err)
@@ -125,9 +145,15 @@ type figRunner struct {
 	dataDir  string
 	outDir   string
 	workers  int
+	cacheDir string
 	progress func(runner.Progress)
 	sinks    []runner.Sink
 	char     *neuron.Characterizer // circuit-tier sweep pool
+
+	// Disk tiers under -cache-dir, kept so persistence failures
+	// (Err) surface at exit; nil receivers are fine without one.
+	circuitDisk *runner.DiskCache[float64]
+	networkDisk *runner.DiskCache[*core.Result]
 
 	exp *core.Experiment // lazily built, shared across network experiments
 }
@@ -143,6 +169,14 @@ func (r *figRunner) experiment() (*core.Experiment, error) {
 	e.Workers = r.workers
 	e.OnProgress = r.progress
 	e.Sinks = r.sinks
+	if r.cacheDir != "" {
+		disk, err := runner.NewDiskCache[*core.Result](filepath.Join(r.cacheDir, "network"))
+		if err != nil {
+			return nil, err
+		}
+		e.Cache = runner.NewTiered[*core.Result](e.Cache, disk)
+		r.networkDisk = disk
+	}
 	base, err := e.Baseline()
 	if err != nil {
 		return nil, err
@@ -478,22 +512,26 @@ func (r *figRunner) fig9c() error {
 		fmt.Printf("%4.0f   %7.4f   %+8.2f   %+8.2f\n", p.X, p.Y, d, dp)
 		rows = append(rows, []float64{p.X, p.Y, d, dp})
 	}
-	// Defended accuracy: Attack 4 at −20% hardened by 32× sizing.
+	// Defended accuracy: Attack 4 at the 0.8 V equivalent threshold
+	// shift, replayed undefended and hardened by 32× sizing as one
+	// scenario (shared pool run, shared baseline, detector alongside).
 	e, err := r.experiment()
 	if err != nil {
 		return err
 	}
-	plan := core.NewAttack4(xfer.ThresholdRatio(xfer.AxonHillock).At(0.8))
-	undef, err := e.Run(plan)
+	pts2, err := e.RunScenario(&core.Scenario{
+		Name:     "fig9c-sizing-defended",
+		Attack:   core.Attack4,
+		Axes:     core.Axes{ChangesPc: []float64{100 * (xfer.ThresholdRatio(xfer.AxonHillock).At(0.8) - 1)}},
+		Defenses: []core.Hardening{defense.Sizing{WLMultiple: 32}},
+		Detector: defense.NewDetector(xfer.AxonHillock),
+	})
 	if err != nil {
 		return err
 	}
-	def, err := e.Run(defense.Sizing{WLMultiple: 32}.Harden(plan))
-	if err != nil {
-		return err
-	}
-	fmt.Printf("accuracy at VDD=0.8: undefended %+.2f%%, 32× sizing %+.2f%% (paper: −85.65%% → −3.49%%)\n",
-		undef.RelChangePc, def.RelChangePc)
+	undef, def := pts2[0].Result, pts2[1].Result
+	fmt.Printf("accuracy at VDD=0.8: undefended %+.2f%%, 32× sizing %+.2f%% (paper: −85.65%% → −3.49%%), detector: %v\n",
+		undef.RelChangePc, def.RelChangePc, pts2[0].Detected)
 	return r.csv("fig9c_sizing.csv", "wl_multiple,thr_V,delta_spice_pc,delta_model_pc", rows)
 }
 
@@ -599,19 +637,25 @@ func (r *figRunner) extWeightFault() error {
 		return err
 	}
 	fmt.Println("weight drift (scale×fraction, one-shot vs persistent every 50 images):")
-	csvRows := [][]float64{}
+	// All four configurations are independent cells: batch them through
+	// the pool instead of training serially.
+	var specs []core.WeightFaultSpec
 	for _, scale := range []float64{0.7, 0.5} {
 		for _, cadence := range []int{0, 50} {
-			res, err := e.RunWeightFault(core.WeightFaultSpec{
+			specs = append(specs, core.WeightFaultSpec{
 				Scale: scale, Fraction: 0.5, EveryNImages: cadence, Seed: 11,
 			})
-			if err != nil {
-				return err
-			}
-			fmt.Printf("  scale %.1f cadence %3d: accuracy %.2f%% (%+.2f%%)\n",
-				scale, cadence, 100*res.Accuracy, res.RelChangePc)
-			csvRows = append(csvRows, []float64{scale, float64(cadence), 100 * res.Accuracy, res.RelChangePc})
 		}
+	}
+	results, err := e.RunWeightFaults(specs)
+	if err != nil {
+		return err
+	}
+	csvRows := [][]float64{}
+	for i, res := range results {
+		fmt.Printf("  scale %.1f cadence %3d: accuracy %.2f%% (%+.2f%%)\n",
+			specs[i].Scale, specs[i].EveryNImages, 100*res.Accuracy, res.RelChangePc)
+		csvRows = append(csvRows, []float64{specs[i].Scale, float64(specs[i].EveryNImages), 100 * res.Accuracy, res.RelChangePc})
 	}
 	return r.csv("e1_weight_fault.csv", "scale,cadence_images,accuracy_pc,rel_change_pc", csvRows)
 }
@@ -624,14 +668,19 @@ func (r *figRunner) extLearningRate() error {
 		return err
 	}
 	fmt.Println("learning-rate scaling:")
+	scales := []float64{0, 0.25, 0.5, 1, 2}
+	specs := make([]core.LearningRateFaultSpec, len(scales))
+	for i, scale := range scales {
+		specs[i] = core.LearningRateFaultSpec{Scale: scale}
+	}
+	results, err := e.RunLearningRateFaults(specs)
+	if err != nil {
+		return err
+	}
 	csvRows := [][]float64{}
-	for _, scale := range []float64{0, 0.25, 0.5, 1, 2} {
-		res, err := e.RunLearningRateFault(core.LearningRateFaultSpec{Scale: scale})
-		if err != nil {
-			return err
-		}
-		fmt.Printf("  ×%.2f: accuracy %.2f%% (%+.2f%%)\n", scale, 100*res.Accuracy, res.RelChangePc)
-		csvRows = append(csvRows, []float64{scale, 100 * res.Accuracy, res.RelChangePc})
+	for i, res := range results {
+		fmt.Printf("  ×%.2f: accuracy %.2f%% (%+.2f%%)\n", scales[i], 100*res.Accuracy, res.RelChangePc)
+		csvRows = append(csvRows, []float64{scales[i], 100 * res.Accuracy, res.RelChangePc})
 	}
 	return r.csv("e2_learning_rate.csv", "scale,accuracy_pc,rel_change_pc", csvRows)
 }
@@ -642,16 +691,18 @@ func (r *figRunner) tableD2() error {
 	if err != nil {
 		return err
 	}
-	plan := core.NewAttack4(xfer.ThresholdRatio(xfer.IAF).At(0.8))
-	undef, err := e.Run(plan)
+	pts, err := e.RunScenario(&core.Scenario{
+		Name:     "d2-bandgap-defended",
+		Attack:   core.Attack4,
+		Axes:     core.Axes{ChangesPc: []float64{100 * (xfer.ThresholdRatio(xfer.IAF).At(0.8) - 1)}},
+		Defenses: []core.Hardening{defense.BandgapThreshold{Kind: xfer.IAF}},
+		Detector: defense.NewDetector(xfer.IAF),
+	})
 	if err != nil {
 		return err
 	}
-	def, err := e.Run(defense.BandgapThreshold{Kind: xfer.IAF}.Harden(plan))
-	if err != nil {
-		return err
-	}
-	fmt.Printf("Attack 4 at VDD=0.8 equivalent: undefended %+.2f%%, bandgap %+.2f%% (paper: degradation → ~0%%)\n",
-		undef.RelChangePc, def.RelChangePc)
+	undef, def := pts[0].Result, pts[1].Result
+	fmt.Printf("Attack 4 at VDD=0.8 equivalent: undefended %+.2f%%, bandgap %+.2f%% (paper: degradation → ~0%%), detector: %v\n",
+		undef.RelChangePc, def.RelChangePc, pts[0].Detected)
 	return r.csv("d2_bandgap.csv", "config,rel_change_pc", [][]float64{{0, undef.RelChangePc}, {1, def.RelChangePc}})
 }

@@ -1,19 +1,24 @@
 // Command snn-attack runs one of the paper's five power attacks against
 // the Diehl&Cook digit classifier and reports accuracy relative to the
-// attack-free baseline, optionally with a defense applied.
+// attack-free baseline, with optional defended replays and the
+// dummy-neuron detector judging alongside.
 //
 // Usage:
 //
 //	snn-attack -attack 3 -change -20 -fraction 100 [-n 1000]
-//	snn-attack -attack 5 -vdd 0.8 [-defense bandgap]
+//	snn-attack -attack 5 -vdd 0.8 [-defense bandgap] [-cache-dir DIR]
 //	snn-attack -attack 4 -change -20 -defense sizing
 //
 // Attacks: 1 (driver theta), 2 (excitatory threshold), 3 (inhibitory
 // threshold), 4 (both layers), 5 (black-box VDD).
 // Defenses: none, robust-driver, bandgap, sizing, comparator.
 //
-// Execution routes through internal/runner's campaign pool: -workers
-// sizes it and -jsonl appends the result as a JSON-lines record.
+// The attack compiles into a core.Scenario — one coordinate crossed
+// with the undefended column and any requested defense — and executes
+// on internal/runner's campaign pool: -workers sizes it, -jsonl
+// streams every cell as a JSON-lines record, and -cache-dir persists
+// trained results so a repeated invocation (same data, same
+// configuration) retrains nothing.
 package main
 
 import (
@@ -47,42 +52,38 @@ func run() (retErr error) {
 		dataDir  = flag.String("data", "", "optional real-MNIST directory")
 		defName  = flag.String("defense", "none", "defense: none|robust-driver|bandgap|sizing|comparator")
 		workers  = flag.Int("workers", 0, "campaign worker-pool size (0 = all CPUs)")
-		jsonl    = flag.String("jsonl", "", "optional JSONL file recording the result")
+		jsonl    = flag.String("jsonl", "", "optional JSONL file recording every cell")
+		cacheDir = flag.String("cache-dir", "", "optional directory persisting trained results across runs")
 	)
 	flag.Parse()
 
-	var plan *core.FaultPlan
+	scn := &core.Scenario{Detector: defense.NewDetector(xfer.IAF)}
 	switch *attack {
-	case 1:
-		plan = core.NewAttack1(1 + *changePc/100)
-	case 2:
-		plan = core.NewAttack2(1+*changePc/100, *fraction/100, 99)
-	case 3:
-		plan = core.NewAttack3(1+*changePc/100, *fraction/100, 99)
-	case 4:
-		plan = core.NewAttack4(1 + *changePc/100)
+	case 1, 4:
+		scn.Attack = core.AttackID(*attack)
+		scn.Axes = core.Axes{ChangesPc: []float64{*changePc}}
+	case 2, 3:
+		scn.Attack = core.AttackID(*attack)
+		scn.Axes = core.Axes{ChangesPc: []float64{*changePc}, FractionsPc: []float64{*fraction}}
 	case 5:
-		plan = core.NewAttack5(*vdd, xfer.IAF)
+		scn.Attack = core.Attack5
+		scn.Axes = core.Axes{VDDs: []float64{*vdd}, Kind: xfer.IAF}
 	default:
 		return fmt.Errorf("unknown attack %d (want 1-5)", *attack)
 	}
 
-	var def defense.Defense
 	switch *defName {
 	case "none":
 	case "robust-driver":
-		def = defense.RobustDriver{ResidualPc: 0.1}
+		scn.Defenses = []core.Hardening{defense.RobustDriver{ResidualPc: 0.1}}
 	case "bandgap":
-		def = defense.BandgapThreshold{Kind: xfer.IAF}
+		scn.Defenses = []core.Hardening{defense.BandgapThreshold{Kind: xfer.IAF}}
 	case "sizing":
-		def = defense.Sizing{WLMultiple: 32}
+		scn.Defenses = []core.Hardening{defense.Sizing{WLMultiple: 32}}
 	case "comparator":
-		def = defense.ComparatorNeuron{}
+		scn.Defenses = []core.Hardening{defense.ComparatorNeuron{}}
 	default:
 		return fmt.Errorf("unknown defense %q", *defName)
-	}
-	if def != nil {
-		plan = def.Harden(plan)
 	}
 
 	exp, err := core.NewExperiment(*dataDir, *nImages, snn.DefaultConfig())
@@ -90,6 +91,14 @@ func run() (retErr error) {
 		return err
 	}
 	exp.Workers = *workers
+	var disk *runner.DiskCache[*core.Result]
+	if *cacheDir != "" {
+		disk, err = runner.NewDiskCache[*core.Result](*cacheDir)
+		if err != nil {
+			return err
+		}
+		exp.Cache = runner.NewTiered[*core.Result](exp.Cache, disk)
+	}
 	if *jsonl != "" {
 		f, err := os.Create(*jsonl)
 		if err != nil {
@@ -107,17 +116,35 @@ func run() (retErr error) {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("plan: %s\n", plan.Name)
-	for _, f := range plan.Faults {
-		fmt.Printf("  %-12v scale %.4f over %.0f%% of the layer\n", f.Layer, f.Scale, 100*f.Fraction)
-	}
-	results, err := exp.RunPlans([]*core.FaultPlan{plan})
+	pts, err := exp.RunScenario(scn)
 	if err != nil {
 		return err
 	}
-	res := results[0]
 	fmt.Printf("baseline accuracy: %.2f%%\n", 100*base)
-	fmt.Printf("attacked accuracy: %.2f%%\n", 100*res.Accuracy)
-	fmt.Printf("relative change:   %+.2f%%\n", res.RelChangePc)
+	for _, p := range pts {
+		col := "undefended"
+		if p.Defense != "" {
+			col = p.Defense
+		}
+		fmt.Printf("%-28s plan %s\n", col+":", p.Result.Plan.Name)
+		for _, f := range p.Result.Plan.Faults {
+			fmt.Printf("  %-12v scale %.4f over %.0f%% of the layer\n", f.Layer, f.Scale, 100*f.Fraction)
+		}
+		fmt.Printf("  accuracy %.2f%%  relative change %+.2f%%  detector: %s\n",
+			100*p.Result.Accuracy, p.Result.RelChangePc, verdict(p.Detected))
+	}
+	// The count the disk cache exists to drive to zero: a repeated
+	// invocation against a warm -cache-dir must print 0.
+	fmt.Printf("trained networks: %d\n", exp.TrainCount())
+	if disk != nil {
+		return disk.Err()
+	}
 	return nil
+}
+
+func verdict(detected bool) string {
+	if detected {
+		return "ATTACK DETECTED"
+	}
+	return "silent"
 }

@@ -3,9 +3,10 @@
 // the paper's §V countermeasures, and print the recovered accuracy next
 // to the defense's power/area overhead.
 //
-// All five configurations (undefended + four defenses) are independent
-// training runs, so they execute in parallel on internal/runner's
-// worker pool via Experiment.RunPlans.
+// The whole matrix is one declarative core.Scenario — the attack
+// coordinate crossed with the defense columns, the dummy-neuron
+// detector judging alongside — so all five configurations (undefended
+// + four defenses) share one worker-pool run and one trained baseline.
 //
 // Run with: go run ./examples/defense-eval
 package main
@@ -37,27 +38,26 @@ func main() {
 		log.Fatal(err)
 	}
 
-	attack := core.NewAttack5(0.8, xfer.IAF)
-	defenses := []defense.Defense{
-		defense.RobustDriver{ResidualPc: 0.1},
-		defense.BandgapThreshold{Kind: xfer.IAF},
-		defense.Sizing{WLMultiple: 32},
-		defense.ComparatorNeuron{},
-	}
-	plans := []*core.FaultPlan{attack}
-	for _, d := range defenses {
-		plans = append(plans, d.Harden(attack))
-	}
-	results, err := exp.RunPlans(plans)
+	pts, err := exp.RunScenario(&core.Scenario{
+		Name:   "defense-eval",
+		Attack: core.Attack5,
+		Axes:   core.Axes{VDDs: []float64{0.8}, Kind: xfer.IAF},
+		Defenses: []core.Hardening{
+			defense.RobustDriver{ResidualPc: 0.1},
+			defense.BandgapThreshold{Kind: xfer.IAF},
+			defense.Sizing{WLMultiple: 32},
+			defense.ComparatorNeuron{},
+		},
+		Detector: defense.NewDetector(xfer.IAF),
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	undefended := results[0]
-	fmt.Printf("baseline: %.1f%%   under black-box VDD=0.8 attack: %.1f%% (%+.1f%%)\n\n",
-		100*base, 100*undefended.Accuracy, undefended.RelChangePc)
-	for i, d := range defenses {
-		res := results[i+1]
-		fmt.Printf("%-28s accuracy %.1f%% (%+.1f%%)\n", d.Name(), 100*res.Accuracy, res.RelChangePc)
+	undefended := pts[0].Result
+	fmt.Printf("baseline: %.1f%%   under black-box VDD=0.8 attack: %.1f%% (%+.1f%%, detector fired: %v)\n\n",
+		100*base, 100*undefended.Accuracy, undefended.RelChangePc, pts[0].Detected)
+	for _, p := range pts[1:] {
+		fmt.Printf("%-28s accuracy %.1f%% (%+.1f%%)\n", p.Defense, 100*p.Result.Accuracy, p.Result.RelChangePc)
 	}
 
 	fmt.Println("\noverheads (200-neuron system, 100 per layer):")

@@ -41,10 +41,13 @@ type Experiment struct {
 	Sinks []runner.Sink
 	// Cache memoizes trained results by content address so repeated
 	// configurations (the shared baseline, re-run sweeps) skip
-	// retraining. NewExperiment installs one; experiments over the
-	// same data may share a cache safely because keys cover the full
-	// experiment fingerprint.
-	Cache *runner.MemoryCache[*Result]
+	// retraining. NewExperiment installs an in-memory cache;
+	// campaigns that must survive the process compose a
+	// runner.DiskCache under it (runner.NewTiered), which lets a
+	// fresh process resume with only the missing cells retrained.
+	// Experiments over the same data may share a cache safely because
+	// keys cover the full experiment fingerprint.
+	Cache runner.Cache[*Result]
 
 	baseMu  sync.Mutex
 	baseRes *Result
@@ -153,6 +156,24 @@ func (e *Experiment) runUncached(plan *FaultPlan) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return e.score(plan, res)
+}
+
+// scoreTrained runs a custom training function (an extension-fault
+// cell whose corruption is not a FaultPlan) and scores it like any
+// plan cell: it counts toward TrainCount and is scored against the
+// shared baseline. plan only names the configuration in the result.
+func (e *Experiment) scoreTrained(plan *FaultPlan, train func() (*snn.TrainResult, error)) (*Result, error) {
+	e.trains.Add(1)
+	res, err := train()
+	if err != nil {
+		return nil, err
+	}
+	return e.score(plan, res)
+}
+
+// score relates one trained run to the attack-free baseline.
+func (e *Experiment) score(plan *FaultPlan, res *snn.TrainResult) (*Result, error) {
 	base, err := e.Baseline()
 	if err != nil {
 		return nil, err
@@ -211,6 +232,8 @@ type SweepPoint struct {
 	ScalePc    float64 // threshold/theta change in percent (−20 … +20)
 	FractionPc float64 // portion of the layer affected in percent
 	VDD        float64 // supply voltage (Attack 5 sweeps)
+	Defense    string  // hardening applied to the cell ("" = undefended)
+	Detected   bool    // dummy-neuron detector verdict for the cell's attack
 	Result     *Result
 }
 
@@ -221,10 +244,38 @@ type SweepPoint struct {
 // spike trains, so all cells share the experiment's EncSeed (a
 // campaign needing per-cell randomness would derive child seeds with
 // runner.DeriveSeed instead).
+//
+// Plan cells leave keyOverride and train nil: the cell is addressed by
+// its plan and trained by applying it. Extension cells (weight and
+// learning-rate faults, whose corruption is not expressible as a
+// FaultPlan) set both — plan then only names the configuration in
+// results — so they run, cache, and stream exactly like plan cells.
 type campaignJob struct {
 	point SweepPoint
 	plan  *FaultPlan
 	desc  string
+
+	keyOverride string
+	train       func() (*snn.TrainResult, error)
+}
+
+// key is the cell's content address.
+func (c campaignJob) key(e *Experiment) string {
+	if c.keyOverride != "" {
+		return c.keyOverride
+	}
+	return e.planKey(c.plan)
+}
+
+// campaignMeta shapes the streamed records of one campaign: its sweep
+// label, whether cells carry grid coordinates (ad-hoc plan lists do
+// not, and zeroes would misreport them), and whether the campaign is a
+// scenario matrix whose records carry the defense column and detector
+// verdict.
+type campaignMeta struct {
+	name   string
+	coords bool
+	matrix bool
 }
 
 // gridMaskSeed fixes which neurons a partial-layer glitch hits, shared
@@ -233,12 +284,9 @@ const gridMaskSeed = 99
 
 // runCampaign executes the cells on the worker pool, collecting
 // results in cell order, streaming one record per point to Sinks, and
-// reporting completions to OnProgress. coords says whether the cells
-// carry sweep coordinates (grids and sweeps) or are ad-hoc plans
-// (RunPlans), whose records omit the meaningless coordinate fields.
-// The output is byte-identical to serial execution at any worker
-// count.
-func (e *Experiment) runCampaign(name string, coords bool, cells []campaignJob) ([]SweepPoint, error) {
+// reporting completions to OnProgress. The output is byte-identical to
+// serial execution at any worker count.
+func (e *Experiment) runCampaign(meta campaignMeta, cells []campaignJob) ([]SweepPoint, error) {
 	if len(cells) == 0 {
 		return nil, nil
 	}
@@ -253,16 +301,19 @@ func (e *Experiment) runCampaign(name string, coords bool, cells []campaignJob) 
 		c := cells[i]
 		jobs[i] = runner.Job[*Result]{
 			Label: c.desc,
-			Key:   e.planKey(c.plan),
+			Key:   c.key(e),
 			Run: func() (*Result, error) {
 				// The pool already missed the cache for this key, so
 				// compute without a second lookup (a nil plan is the
 				// memoized baseline).
 				var r *Result
 				var err error
-				if c.plan == nil {
+				switch {
+				case c.train != nil:
+					r, err = e.scoreTrained(c.plan, c.train)
+				case c.plan == nil:
 					r, err = e.baselineResult()
-				} else {
+				default:
 					r, err = e.runUncached(c.plan)
 				}
 				if err != nil {
@@ -279,7 +330,7 @@ func (e *Experiment) runCampaign(name string, coords bool, cells []campaignJob) 
 	}
 	if len(e.Sinks) > 0 {
 		pool.OnResult = func(i int, r *Result, _ bool) error {
-			rec := sweepRecord(name, coords, cells[i].point, r)
+			rec := sweepRecord(meta, cells[i].point, r)
 			for _, s := range e.Sinks {
 				if err := s.Write(rec); err != nil {
 					return err
@@ -302,44 +353,45 @@ func (e *Experiment) runCampaign(name string, coords bool, cells []campaignJob) 
 
 // sweepRecord renders one sweep point for the streaming sinks. The
 // coordinate fields are included only for real sweeps — ad-hoc plan
-// lists have no grid coordinates, and zeroes would misreport them.
-func sweepRecord(sweep string, coords bool, p SweepPoint, r *Result) runner.Record {
+// lists have no grid coordinates, and zeroes would misreport them —
+// and the defense/detector fields only for scenario matrices, so
+// plain sweeps keep their established record schema.
+func sweepRecord(meta campaignMeta, p SweepPoint, r *Result) runner.Record {
 	planName := ""
 	if r.Plan != nil {
 		planName = r.Plan.Name
 	}
 	rec := runner.Record{
-		{Name: "sweep", Value: sweep},
+		{Name: "sweep", Value: meta.name},
 		{Name: "plan", Value: planName},
 	}
-	if coords {
+	if meta.matrix {
+		rec = append(rec, runner.Field{Name: "defense", Value: p.Defense})
+	}
+	if meta.coords {
 		rec = append(rec,
 			runner.Field{Name: "scale_pc", Value: p.ScalePc},
 			runner.Field{Name: "fraction_pc", Value: p.FractionPc},
 			runner.Field{Name: "vdd_v", Value: p.VDD},
 		)
 	}
-	return append(rec,
+	rec = append(rec,
 		runner.Field{Name: "accuracy", Value: r.Accuracy},
 		runner.Field{Name: "baseline", Value: r.Baseline},
 		runner.Field{Name: "rel_change_pc", Value: r.RelChangePc},
 		runner.Field{Name: "total_spikes", Value: r.TotalSpikes},
 	)
+	if meta.matrix {
+		rec = append(rec, runner.Field{Name: "detected", Value: p.Detected})
+	}
+	return rec
 }
 
 // RunPlans evaluates several fault plans through the worker pool and
 // returns one result per plan, in input order. A nil plan stands for
 // the attack-free baseline, as in Run.
 func (e *Experiment) RunPlans(plans []*FaultPlan) ([]*Result, error) {
-	cells := make([]campaignJob, len(plans))
-	for i, p := range plans {
-		desc := "plan (baseline)"
-		if p != nil {
-			desc = fmt.Sprintf("plan %q", p.Name)
-		}
-		cells[i] = campaignJob{plan: p, desc: desc}
-	}
-	pts, err := e.runCampaign("plans", false, cells)
+	pts, err := e.RunScenario(&Scenario{Name: "plans", Plans: plans})
 	if err != nil {
 		return nil, err
 	}
@@ -353,69 +405,48 @@ func (e *Experiment) RunPlans(plans []*FaultPlan) ([]*Result, error) {
 // Attack1Sweep reproduces Fig. 7b: classification accuracy versus theta
 // (per-input-spike membrane charge) change.
 func (e *Experiment) Attack1Sweep(changesPc []float64) ([]SweepPoint, error) {
-	cells := make([]campaignJob, 0, len(changesPc))
-	for _, c := range changesPc {
-		cells = append(cells, campaignJob{
-			point: SweepPoint{ScalePc: c, FractionPc: 100},
-			plan:  NewAttack1(1 + c/100),
-			desc:  fmt.Sprintf("attack 1 at %+.0f%%", c),
-		})
-	}
-	return e.runCampaign("attack1-theta", true, cells)
+	return e.RunScenario(&Scenario{
+		Name:   "attack1-theta",
+		Attack: Attack1,
+		Axes:   Axes{ChangesPc: changesPc},
+	})
 }
 
 // LayerGrid reproduces Figs. 8a/8b: accuracy over threshold change ×
 // fraction-of-layer for one layer (Excitatory → Attack 2, Inhibitory →
 // Attack 3).
 func (e *Experiment) LayerGrid(layer Layer, changesPc, fractionsPc []float64) ([]SweepPoint, error) {
-	if layer != Excitatory && layer != Inhibitory {
+	attack := Attack2
+	if layer == Inhibitory {
+		attack = Attack3
+	} else if layer != Excitatory {
 		return nil, fmt.Errorf("core: layer grid needs a neuron layer, got %v", layer)
 	}
-	cells := make([]campaignJob, 0, len(changesPc)*len(fractionsPc))
-	for _, c := range changesPc {
-		for _, f := range fractionsPc {
-			var plan *FaultPlan
-			if layer == Excitatory {
-				plan = NewAttack2(1+c/100, f/100, gridMaskSeed)
-			} else {
-				plan = NewAttack3(1+c/100, f/100, gridMaskSeed)
-			}
-			cells = append(cells, campaignJob{
-				point: SweepPoint{ScalePc: c, FractionPc: f},
-				plan:  plan,
-				desc:  fmt.Sprintf("%v grid at %+.0f%%/%.0f%%", layer, c, f),
-			})
-		}
-	}
-	return e.runCampaign(fmt.Sprintf("layer-grid-%v", layer), true, cells)
+	return e.RunScenario(&Scenario{
+		Name:   fmt.Sprintf("layer-grid-%v", layer),
+		Attack: attack,
+		Axes:   Axes{ChangesPc: changesPc, FractionsPc: fractionsPc},
+	})
 }
 
 // Attack4Sweep reproduces Fig. 8c: accuracy versus threshold change
 // with both layers fully affected.
 func (e *Experiment) Attack4Sweep(changesPc []float64) ([]SweepPoint, error) {
-	cells := make([]campaignJob, 0, len(changesPc))
-	for _, c := range changesPc {
-		cells = append(cells, campaignJob{
-			point: SweepPoint{ScalePc: c, FractionPc: 100},
-			plan:  NewAttack4(1 + c/100),
-			desc:  fmt.Sprintf("attack 4 at %+.0f%%", c),
-		})
-	}
-	return e.runCampaign("attack4-both-layers", true, cells)
+	return e.RunScenario(&Scenario{
+		Name:   "attack4-both-layers",
+		Attack: Attack4,
+		Axes:   Axes{ChangesPc: changesPc},
+	})
 }
 
 // Attack5Sweep reproduces Fig. 9a: accuracy versus VDD for the whole
 // shared-supply system.
 func (e *Experiment) Attack5Sweep(vdds []float64, kind xfer.NeuronKind) ([]SweepPoint, error) {
-	cells := make([]campaignJob, 0, len(vdds))
-	for _, v := range vdds {
-		cells = append(cells, campaignJob{
-			point: SweepPoint{VDD: v, FractionPc: 100},
-			plan:  NewAttack5(v, kind),
-			desc:  fmt.Sprintf("attack 5 at VDD=%.2f", v),
-		})
-	}
-	return e.runCampaign("attack5-vdd", true, cells)
+	return e.RunScenario(&Scenario{
+		Name:   "attack5-vdd",
+		Attack: Attack5,
+		Axes:   Axes{VDDs: vdds, Kind: kind},
+	})
 }
 
 // WorstCase returns the sweep point with the most negative relative

@@ -32,7 +32,8 @@ func samePoints(t *testing.T, workers int, got, want []SweepPoint) {
 	}
 	for i := range want {
 		g, w := got[i], want[i]
-		if g.ScalePc != w.ScalePc || g.FractionPc != w.FractionPc || g.VDD != w.VDD {
+		if g.ScalePc != w.ScalePc || g.FractionPc != w.FractionPc || g.VDD != w.VDD ||
+			g.Defense != w.Defense || g.Detected != w.Detected {
 			t.Fatalf("workers=%d: point %d coords %+v, want %+v", workers, i, g, w)
 		}
 		if g.Result.Accuracy != w.Result.Accuracy ||
@@ -111,7 +112,7 @@ func TestSweepBaselineTrainsOnce(t *testing.T) {
 		t.Fatalf("repeated sweep trained %d more networks, want 0", got-wantTrains)
 	}
 	samePoints(t, 4, again, pts)
-	if hits, _ := e.Cache.Stats(); hits < int64(len(pts)) {
+	if hits, _ := e.Cache.(*runner.MemoryCache[*Result]).Stats(); hits < int64(len(pts)) {
 		t.Fatalf("cache hits = %d, want ≥%d", hits, len(pts))
 	}
 }

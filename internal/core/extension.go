@@ -5,8 +5,8 @@ import (
 	"math/rand"
 
 	"snnfi/internal/encoding"
+	"snnfi/internal/runner"
 	"snnfi/internal/snn"
-	"snnfi/internal/tensor"
 )
 
 // This file implements extension experiments beyond the paper's five
@@ -15,6 +15,12 @@ import (
 // learning rate. Both are plausible power-fault targets in memristive
 // or charge-based synapse implementations, where the stored conductance
 // and the programming pulse energy track the supply.
+//
+// Extension faults are campaign cells like any attack cell: they run
+// on the worker pool, are content-addressed into the result cache
+// (a repeated specification retrains nothing, in this process or a
+// resumed one), count toward TrainCount, and stream to the
+// experiment's sinks.
 
 // WeightFaultSpec corrupts the learned input→excitatory synaptic
 // weights: a fraction of synapses is scaled (conductance drift under
@@ -45,7 +51,11 @@ func (s WeightFaultSpec) Validate() error {
 	return nil
 }
 
-// apply scales a random subset of the weight matrix in place.
+// apply scales a random subset of the weight matrix in place. The
+// subset is drawn without replacement (a permutation prefix, as
+// applyMasked does for neurons), so exactly Fraction·total distinct
+// synapses are hit — sampling with replacement would double-scale
+// some synapses and cover fewer than advertised.
 func (s WeightFaultSpec) apply(n *snn.DiehlCook, rng *rand.Rand) {
 	total := len(n.W.Data)
 	k := int(s.Fraction*float64(total) + 0.5)
@@ -58,59 +68,59 @@ func (s WeightFaultSpec) apply(n *snn.DiehlCook, rng *rand.Rand) {
 		}
 		return
 	}
-	for i := 0; i < k; i++ {
-		n.W.Data[rng.Intn(total)] *= s.Scale
+	perm := rng.Perm(total)
+	for _, i := range perm[:k] {
+		n.W.Data[i] *= s.Scale
 	}
+}
+
+// cell compiles the spec into a campaign cell: a content-addressed
+// job that trains through snn.TrainObserved, re-applying the drift at
+// the spec's cadence.
+func (s WeightFaultSpec) cell(e *Experiment) campaignJob {
+	return campaignJob{
+		plan: &FaultPlan{Name: fmt.Sprintf("ext-weight-fault-%.2fx-%.0f%%", s.Scale, 100*s.Fraction)},
+		desc: fmt.Sprintf("weight fault ×%.2f over %.0f%% every %d images", s.Scale, 100*s.Fraction, s.EveryNImages),
+		// The plan above is a display name only (it omits cadence and
+		// seed); the cell is addressed by the full specification.
+		keyOverride: runner.KeyOf(e.fingerprint(), "ext-weight-fault-v1", s),
+		train: func() (*snn.TrainResult, error) {
+			n, err := snn.NewDiehlCook(e.Cfg)
+			if err != nil {
+				return nil, err
+			}
+			rng := rand.New(rand.NewSource(s.Seed))
+			enc := encoding.NewPoissonEncoder(e.EncSeed)
+			return snn.TrainObserved(n, e.Images, enc, func(i int) {
+				if i == 0 || (s.EveryNImages > 0 && i%s.EveryNImages == 0) {
+					s.apply(n, rng)
+				}
+			})
+		},
+	}
+}
+
+// RunWeightFaults evaluates several weight-fault specifications on the
+// worker pool, one result per spec in input order.
+func (e *Experiment) RunWeightFaults(specs []WeightFaultSpec) ([]*Result, error) {
+	cells := make([]campaignJob, len(specs))
+	for i, s := range specs {
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+		cells[i] = s.cell(e)
+	}
+	return e.runExtension("ext-weight-fault", cells)
 }
 
 // RunWeightFault trains a fresh network while injecting the weight
 // fault and returns the result relative to the experiment baseline.
 func (e *Experiment) RunWeightFault(spec WeightFaultSpec) (*Result, error) {
-	if err := spec.Validate(); err != nil {
-		return nil, err
-	}
-	n, err := snn.NewDiehlCook(e.Cfg)
+	res, err := e.RunWeightFaults([]WeightFaultSpec{spec})
 	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(spec.Seed))
-	enc := encoding.NewPoissonEncoder(e.EncSeed)
-
-	spec.apply(n, rng)
-	perImage := make([]tensor.Vector, 0, len(e.Images))
-	labels := make([]uint8, 0, len(e.Images))
-	total := 0.0
-	for i := range e.Images {
-		if spec.EveryNImages > 0 && i > 0 && i%spec.EveryNImages == 0 {
-			spec.apply(n, rng)
-		}
-		enc.Begin(&e.Images[i])
-		counts := n.RunImageStream(enc.EncodeStep, true)
-		total += counts.Sum()
-		perImage = append(perImage, counts)
-		labels = append(labels, e.Images[i].Label)
-	}
-	assignments := snn.AssignLabels(perImage, labels, e.Cfg.NExc)
-	correct := 0
-	for i := range perImage {
-		if snn.Classify(perImage[i], assignments) == int(labels[i]) {
-			correct++
-		}
-	}
-	acc := float64(correct) / float64(len(perImage))
-
-	base, err := e.Baseline()
-	if err != nil {
-		return nil, err
-	}
-	r := &Result{
-		Plan:     &FaultPlan{Name: fmt.Sprintf("ext-weight-fault-%.2fx-%.0f%%", spec.Scale, 100*spec.Fraction)},
-		Accuracy: acc, Baseline: base, TotalSpikes: total,
-	}
-	if base > 0 {
-		r.RelChangePc = 100 * (acc - base) / base
-	}
-	return r, nil
+	return res[0], nil
 }
 
 // LearningRateFaultSpec corrupts the STDP learning rates — the
@@ -129,33 +139,59 @@ func (s LearningRateFaultSpec) Validate() error {
 	return nil
 }
 
+// cell compiles the spec into a campaign cell that trains under the
+// scaled learning rates.
+func (s LearningRateFaultSpec) cell(e *Experiment) campaignJob {
+	return campaignJob{
+		plan:        &FaultPlan{Name: fmt.Sprintf("ext-learning-rate-%.2fx", s.Scale)},
+		desc:        fmt.Sprintf("learning-rate fault ×%.2f", s.Scale),
+		keyOverride: runner.KeyOf(e.fingerprint(), "ext-learning-rate-v1", s),
+		train: func() (*snn.TrainResult, error) {
+			cfg := e.Cfg
+			cfg.NuPre *= s.Scale
+			cfg.NuPost *= s.Scale
+			n, err := snn.NewDiehlCook(cfg)
+			if err != nil {
+				return nil, err
+			}
+			enc := encoding.NewPoissonEncoder(e.EncSeed)
+			return snn.Train(n, e.Images, enc)
+		},
+	}
+}
+
+// RunLearningRateFaults evaluates several learning-rate faults on the
+// worker pool, one result per spec in input order.
+func (e *Experiment) RunLearningRateFaults(specs []LearningRateFaultSpec) ([]*Result, error) {
+	cells := make([]campaignJob, len(specs))
+	for i, s := range specs {
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+		cells[i] = s.cell(e)
+	}
+	return e.runExtension("ext-learning-rate", cells)
+}
+
 // RunLearningRateFault trains with scaled STDP rates.
 func (e *Experiment) RunLearningRateFault(spec LearningRateFaultSpec) (*Result, error) {
-	if err := spec.Validate(); err != nil {
-		return nil, err
-	}
-	cfg := e.Cfg
-	cfg.NuPre *= spec.Scale
-	cfg.NuPost *= spec.Scale
-	n, err := snn.NewDiehlCook(cfg)
+	res, err := e.RunLearningRateFaults([]LearningRateFaultSpec{spec})
 	if err != nil {
 		return nil, err
 	}
-	enc := encoding.NewPoissonEncoder(e.EncSeed)
-	res, err := snn.Train(n, e.Images, enc)
+	return res[0], nil
+}
+
+// runExtension executes extension cells like any campaign and returns
+// bare results (extension specs carry no sweep coordinates).
+func (e *Experiment) runExtension(name string, cells []campaignJob) ([]*Result, error) {
+	pts, err := e.runCampaign(campaignMeta{name: name}, cells)
 	if err != nil {
 		return nil, err
 	}
-	base, err := e.Baseline()
-	if err != nil {
-		return nil, err
+	out := make([]*Result, len(pts))
+	for i, p := range pts {
+		out[i] = p.Result
 	}
-	r := &Result{
-		Plan:     &FaultPlan{Name: fmt.Sprintf("ext-learning-rate-%.2fx", spec.Scale)},
-		Accuracy: res.Accuracy, Baseline: base, TotalSpikes: res.TotalSpikes,
-	}
-	if base > 0 {
-		r.RelChangePc = 100 * (res.Accuracy - base) / base
-	}
-	return r, nil
+	return out, nil
 }

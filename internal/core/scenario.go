@@ -1,0 +1,253 @@
+package core
+
+import (
+	"fmt"
+
+	"snnfi/internal/xfer"
+)
+
+// Hardening maps an attack plan onto a defended implementation: the
+// plan that results when the same physical fault hits the hardened
+// circuit. defense.Defense satisfies this interface; core defines it
+// so scenarios can carry defense columns without importing the defense
+// package (which imports core).
+type Hardening interface {
+	Name() string
+	Harden(plan *FaultPlan) *FaultPlan
+}
+
+// CellJudge renders the dummy-neuron detector's verdict for one attack
+// cell: given the cell's sweep coordinates and its *undefended* plan
+// (the detector senses the physical glitch itself, which parameter
+// hardening does not remove), it reports whether the detector fires.
+// defense.DetectorConfig satisfies this interface.
+type CellJudge interface {
+	Judge(point SweepPoint, plan *FaultPlan) bool
+}
+
+// Axes spans the coordinate grid of a scenario's attack family. Which
+// fields are read depends on the attack: ChangesPc for Attacks 1-4,
+// FractionsPc additionally for Attacks 2-3 (defaulting to {100}), and
+// VDDs (with Kind selecting the threshold transfer curve) for
+// Attack 5.
+type Axes struct {
+	// ChangesPc are parameter changes in percent (-20 … +20).
+	ChangesPc []float64
+	// FractionsPc are layer coverages in percent; empty means {100}.
+	FractionsPc []float64
+	// VDDs are supply voltages for the black-box sweep.
+	VDDs []float64
+	// Kind selects the neuron circuit whose transfer curves map VDD to
+	// parameter corruption (Attack 5).
+	Kind xfer.NeuronKind
+	// MaskSeed fixes which neurons a partial-layer glitch hits
+	// (Attacks 2-3); 0 uses the campaign default so fractions nest
+	// across every entry point.
+	MaskSeed int64
+}
+
+// Scenario declaratively specifies one campaign matrix: an attack
+// family swept over a coordinate grid, replayed undefended and against
+// each listed defense, with the dummy-neuron detector judging
+// alongside — the paper's §IV-§V evaluation protocol as a value.
+//
+// Compiling a scenario yields one flat job list, so all cells —
+// defended and undefended alike — share a single pool run, a single
+// trained baseline, and a single ordered sink stream. When Defenses or
+// a Detector are present, streamed records gain "defense" and
+// "detected" fields.
+type Scenario struct {
+	// Name labels records ("sweep" field); empty derives it from the
+	// attack family.
+	Name string
+	// Attack selects the swept family (Attack1 … Attack5). Zero means
+	// the scenario enumerates explicit Plans instead.
+	Attack AttackID
+	// Plans are ad-hoc cells for attack-less scenarios (the RunPlans
+	// path); a nil plan stands for the attack-free baseline.
+	Plans []*FaultPlan
+	// Axes spans the attack family's coordinate grid.
+	Axes Axes
+	// Defenses are the hardened replays. The undefended column is
+	// always included first; each defense adds one column per
+	// coordinate.
+	Defenses []Hardening
+	// Detector, when non-nil, judges every coordinate's undefended
+	// plan and stamps the verdict on all of that coordinate's cells.
+	Detector CellJudge
+}
+
+// Validate reports specification errors.
+func (s *Scenario) Validate() error {
+	if s.Attack == 0 && len(s.Plans) == 0 {
+		return fmt.Errorf("core: scenario needs an attack family or explicit plans")
+	}
+	if s.Attack != 0 && len(s.Plans) > 0 {
+		return fmt.Errorf("core: scenario cannot mix an attack family with explicit plans")
+	}
+	switch s.Attack {
+	case 0: // explicit plans
+	case Attack1, Attack2, Attack3, Attack4:
+		if len(s.Axes.ChangesPc) == 0 {
+			return fmt.Errorf("core: scenario %v needs Axes.ChangesPc", s.Attack)
+		}
+	case Attack5:
+		if len(s.Axes.VDDs) == 0 {
+			return fmt.Errorf("core: scenario %v needs Axes.VDDs", s.Attack)
+		}
+	default:
+		return fmt.Errorf("core: unknown attack %v", s.Attack)
+	}
+	for _, d := range s.Defenses {
+		if d == nil {
+			return fmt.Errorf("core: scenario defense list contains nil (the undefended column is implicit)")
+		}
+	}
+	return nil
+}
+
+// name resolves the record label.
+func (s *Scenario) name() string {
+	if s.Name != "" {
+		return s.Name
+	}
+	if s.Attack == 0 {
+		return "plans"
+	}
+	return s.Attack.String()
+}
+
+// baseCells enumerates the undefended coordinate grid of the attack
+// family, one cell per coordinate, in deterministic sweep order.
+func (s *Scenario) baseCells() []campaignJob {
+	maskSeed := s.Axes.MaskSeed
+	if maskSeed == 0 {
+		maskSeed = gridMaskSeed
+	}
+	fractions := s.Axes.FractionsPc
+	if len(fractions) == 0 {
+		fractions = []float64{100}
+	}
+	var cells []campaignJob
+	switch s.Attack {
+	case 0:
+		for _, p := range s.Plans {
+			desc := "plan (baseline)"
+			if p != nil {
+				desc = fmt.Sprintf("plan %q", p.Name)
+			}
+			cells = append(cells, campaignJob{plan: p, desc: desc})
+		}
+	case Attack1:
+		for _, c := range s.Axes.ChangesPc {
+			cells = append(cells, campaignJob{
+				point: SweepPoint{ScalePc: c, FractionPc: 100},
+				plan:  NewAttack1(1 + c/100),
+				desc:  fmt.Sprintf("attack 1 at %+.0f%%", c),
+			})
+		}
+	case Attack2, Attack3:
+		layer := Excitatory
+		build := NewAttack2
+		if s.Attack == Attack3 {
+			layer, build = Inhibitory, NewAttack3
+		}
+		for _, c := range s.Axes.ChangesPc {
+			for _, f := range fractions {
+				cells = append(cells, campaignJob{
+					point: SweepPoint{ScalePc: c, FractionPc: f},
+					plan:  build(1+c/100, f/100, maskSeed),
+					desc:  fmt.Sprintf("%v grid at %+.0f%%/%.0f%%", layer, c, f),
+				})
+			}
+		}
+	case Attack4:
+		for _, c := range s.Axes.ChangesPc {
+			cells = append(cells, campaignJob{
+				point: SweepPoint{ScalePc: c, FractionPc: 100},
+				plan:  NewAttack4(1 + c/100),
+				desc:  fmt.Sprintf("attack 4 at %+.0f%%", c),
+			})
+		}
+	case Attack5:
+		for _, v := range s.Axes.VDDs {
+			cells = append(cells, campaignJob{
+				point: SweepPoint{VDD: v, FractionPc: 100},
+				plan:  NewAttack5(v, s.Axes.Kind),
+				desc:  fmt.Sprintf("attack 5 at VDD=%.2f", v),
+			})
+		}
+	}
+	return cells
+}
+
+// compile lowers the scenario to its flat job list: the coordinate
+// grid crossed with the defense columns (undefended first), each
+// coordinate judged once by the detector. The expansion is pure — the
+// same scenario always compiles to the same cells in the same order,
+// which is what makes campaign output independent of worker count.
+func (s *Scenario) compile() ([]campaignJob, campaignMeta, error) {
+	meta := campaignMeta{
+		name:   s.name(),
+		coords: s.Attack != 0,
+		matrix: len(s.Defenses) > 0 || s.Detector != nil,
+	}
+	if err := s.Validate(); err != nil {
+		return nil, meta, err
+	}
+	base := s.baseCells()
+	if !meta.matrix {
+		return base, meta, nil
+	}
+	cells := make([]campaignJob, 0, len(base)*(1+len(s.Defenses)))
+	for _, b := range base {
+		detected := false
+		if s.Detector != nil {
+			detected = s.Detector.Judge(b.point, b.plan)
+		}
+		b.point.Detected = detected
+		cells = append(cells, b)
+		for _, d := range s.Defenses {
+			cell := b
+			cell.point.Defense = d.Name()
+			if b.plan != nil {
+				cell.plan = d.Harden(b.plan)
+			}
+			cell.desc = fmt.Sprintf("%s [%s]", b.desc, d.Name())
+			cells = append(cells, cell)
+		}
+	}
+	return cells, meta, nil
+}
+
+// RunScenario compiles the scenario and executes every cell on the
+// experiment's worker pool: defended and undefended replays of the
+// same attack share one pool run, one trained baseline, and one
+// ordered sink stream, and each cell is served from the result cache
+// when its configuration was already trained — in this process or (with
+// a disk-backed cache) a previous one. Results arrive in compile
+// order: coordinate-major, the undefended column before each
+// coordinate's defended replays.
+func (e *Experiment) RunScenario(s *Scenario) ([]SweepPoint, error) {
+	cells, meta, err := s.compile()
+	if err != nil {
+		return nil, err
+	}
+	return e.runCampaign(meta, cells)
+}
+
+// ScenarioKeys returns the content addresses of every cell the
+// scenario compiles to, in compile order — the keys a disk cache will
+// be probed with. Campaign tooling uses it to audit which cells of a
+// resumable campaign are already on disk.
+func (e *Experiment) ScenarioKeys(s *Scenario) ([]string, error) {
+	cells, _, err := s.compile()
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]string, len(cells))
+	for i, c := range cells {
+		keys[i] = c.key(e)
+	}
+	return keys, nil
+}

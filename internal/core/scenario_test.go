@@ -1,0 +1,418 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"regexp"
+	"strings"
+	"testing"
+
+	"snnfi/internal/runner"
+	"snnfi/internal/snn"
+)
+
+// attenuator is a test Hardening: it shrinks every fault's excursion
+// around nominal by a residual factor, like the paper's parameter
+// defenses do.
+type attenuator struct {
+	name     string
+	residual float64
+}
+
+func (h attenuator) Name() string { return h.name }
+
+func (h attenuator) Harden(p *FaultPlan) *FaultPlan {
+	out := &FaultPlan{Name: p.Name + "+" + h.name}
+	out.Faults = append([]FaultSpec(nil), p.Faults...)
+	for i := range out.Faults {
+		out.Faults[i].Scale = 1 + (out.Faults[i].Scale-1)*h.residual
+	}
+	return out
+}
+
+// bigExcursionJudge is a test CellJudge: it flags cells whose scale
+// excursion is at least 15%.
+type bigExcursionJudge struct{}
+
+func (bigExcursionJudge) Judge(p SweepPoint, plan *FaultPlan) bool {
+	return p.ScalePc >= 15 || p.ScalePc <= -15
+}
+
+func TestScenarioValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		s    Scenario
+	}{
+		{"empty", Scenario{}},
+		{"attack and plans", Scenario{Attack: Attack1, Plans: []*FaultPlan{nil}, Axes: Axes{ChangesPc: []float64{1}}}},
+		{"attack1 without changes", Scenario{Attack: Attack1}},
+		{"attack5 without vdds", Scenario{Attack: Attack5}},
+		{"unknown attack", Scenario{Attack: AttackID(9), Axes: Axes{ChangesPc: []float64{1}}}},
+		{"nil defense", Scenario{Attack: Attack1, Axes: Axes{ChangesPc: []float64{1}}, Defenses: []Hardening{nil}}},
+	}
+	for _, c := range cases {
+		if err := c.s.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted an invalid scenario", c.name)
+		}
+	}
+	ok := Scenario{Attack: Attack2, Axes: Axes{ChangesPc: []float64{-20}}}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid scenario rejected: %v", err)
+	}
+}
+
+// TestScenarioCompileDeterministic: compiling the same scenario twice
+// yields the same cells — coordinates, plans, descriptions, content
+// addresses — in the same order. This purity is what makes campaign
+// output independent of worker count.
+func TestScenarioCompileDeterministic(t *testing.T) {
+	e := tinyExperiment(t, 10)
+	s := &Scenario{
+		Attack:   Attack3,
+		Axes:     Axes{ChangesPc: []float64{-20, 10}, FractionsPc: []float64{50, 100}},
+		Defenses: []Hardening{attenuator{"atten-a", 0.1}, attenuator{"atten-b", 0.5}},
+		Detector: bigExcursionJudge{},
+	}
+	a, metaA, err := s.compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := s.compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !metaA.matrix || !metaA.coords {
+		t.Fatalf("matrix scenario compiled to meta %+v", metaA)
+	}
+	wantCells := 2 * 2 * 3 // coords × (undefended + 2 defenses)
+	if len(a) != wantCells || len(b) != wantCells {
+		t.Fatalf("compiled %d/%d cells, want %d", len(a), len(b), wantCells)
+	}
+	seen := map[string]bool{}
+	for i := range a {
+		if a[i].desc != b[i].desc || a[i].key(e) != b[i].key(e) ||
+			a[i].point != b[i].point || a[i].plan.Name != b[i].plan.Name {
+			t.Fatalf("cell %d differs between compilations: %+v vs %+v", i, a[i], b[i])
+		}
+		if seen[a[i].key(e)] {
+			t.Fatalf("cell %d (%s) reuses a content address", i, a[i].desc)
+		}
+		seen[a[i].key(e)] = true
+	}
+	keys, err := e.ScenarioKeys(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != wantCells {
+		t.Fatalf("ScenarioKeys returned %d keys, want %d", len(keys), wantCells)
+	}
+	for i, k := range keys {
+		if k != a[i].key(e) {
+			t.Fatalf("ScenarioKeys[%d] disagrees with compile", i)
+		}
+	}
+}
+
+// TestScenarioMatrixDeterministicAcrossWorkers runs a defended,
+// detector-judged matrix at several pool widths: SweepPoints and the
+// streamed JSONL must be byte-identical, with the defense and detected
+// fields populated.
+func TestScenarioMatrixDeterministicAcrossWorkers(t *testing.T) {
+	e := tinyExperiment(t, 60)
+	s := &Scenario{
+		Name:     "matrix",
+		Attack:   Attack3,
+		Axes:     Axes{ChangesPc: []float64{-20, 10}},
+		Defenses: []Hardening{attenuator{"atten", 0.2}},
+		Detector: bigExcursionJudge{},
+	}
+	var ref []SweepPoint
+	var refJSONL []byte
+	for _, workers := range []int{1, 4} {
+		e.Cache = runner.NewMemoryCache[*Result]()
+		e.Workers = workers
+		var buf bytes.Buffer
+		sink := runner.NewJSONLSink(&buf)
+		e.Sinks = []runner.Sink{sink}
+		pts, err := e.RunScenario(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sink.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if workers == 1 {
+			ref, refJSONL = pts, buf.Bytes()
+			continue
+		}
+		samePoints(t, workers, pts, ref)
+		if !bytes.Equal(buf.Bytes(), refJSONL) {
+			t.Fatalf("workers=%d: streamed JSONL differs from serial:\n%s\nvs\n%s",
+				workers, buf.Bytes(), refJSONL)
+		}
+	}
+	// The matrix shape: per coordinate, undefended then defended.
+	if len(ref) != 4 {
+		t.Fatalf("%d points, want 4", len(ref))
+	}
+	if ref[0].Defense != "" || ref[1].Defense != "atten" || ref[2].Defense != "" || ref[3].Defense != "atten" {
+		t.Fatalf("defense columns wrong: %+v", ref)
+	}
+	if !ref[0].Detected || !ref[1].Detected || ref[2].Detected || ref[3].Detected {
+		t.Fatalf("detector verdicts wrong (want -20%% flagged, +10%% silent): %+v", ref)
+	}
+	if !bytes.Contains(refJSONL, []byte(`"defense":"atten"`)) ||
+		!bytes.Contains(refJSONL, []byte(`"detected":true`)) ||
+		!bytes.Contains(refJSONL, []byte(`"detected":false`)) {
+		t.Fatalf("records lack populated defense/detected fields:\n%s", refJSONL)
+	}
+	// The defended replay really is the attenuated plan, not a copy of
+	// the undefended cell.
+	if ref[1].Result.Plan.Name != ref[0].Result.Plan.Name+"+atten" {
+		t.Fatalf("defended plan %q does not derive from %q", ref[1].Result.Plan.Name, ref[0].Result.Plan.Name)
+	}
+}
+
+// TestAttack1SweepGoldenRecords pins the pre-scenario record schema of
+// the compatibility sweeps: same field names, same order, no matrix
+// fields, values matching the returned points.
+func TestAttack1SweepGoldenRecords(t *testing.T) {
+	e := tinyExperiment(t, 40)
+	var buf bytes.Buffer
+	sink := runner.NewJSONLSink(&buf)
+	e.Sinks = []runner.Sink{sink}
+	pts, err := e.Attack1Sweep([]float64{-20, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(pts) {
+		t.Fatalf("%d records for %d points", len(lines), len(pts))
+	}
+	wantFields := []string{"sweep", "plan", "scale_pc", "fraction_pc", "vdd_v",
+		"accuracy", "baseline", "rel_change_pc", "total_spikes"}
+	fieldRe := regexp.MustCompile(`"([a-z_]+)":`)
+	for i, line := range lines {
+		var names []string
+		for _, m := range fieldRe.FindAllStringSubmatch(line, -1) {
+			names = append(names, m[1])
+		}
+		if strings.Join(names, ",") != strings.Join(wantFields, ",") {
+			t.Fatalf("record %d fields %v, want legacy schema %v", i, names, wantFields)
+		}
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatal(err)
+		}
+		if rec["sweep"] != "attack1-theta" || rec["plan"] != pts[i].Result.Plan.Name {
+			t.Fatalf("record %d mislabeled: %s", i, line)
+		}
+		if rec["accuracy"] != pts[i].Result.Accuracy || rec["scale_pc"] != pts[i].ScalePc {
+			t.Fatalf("record %d values do not match point %+v: %s", i, pts[i], line)
+		}
+	}
+}
+
+// TestLayerGridEquivalentToDirectRuns: the scenario-compiled grid is
+// the same campaign as direct Run calls over hand-built plans — same
+// results AND same content addresses (the direct runs are all served
+// from the sweep's cache, retraining nothing).
+func TestLayerGridEquivalentToDirectRuns(t *testing.T) {
+	e := tinyExperiment(t, 40)
+	changes := []float64{-20, 10}
+	fractions := []float64{50, 100}
+	pts, err := e.LayerGrid(Excitatory, changes, fractions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trained := e.TrainCount()
+	i := 0
+	for _, c := range changes {
+		for _, f := range fractions {
+			direct, err := e.Run(NewAttack2(1+c/100, f/100, gridMaskSeed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := pts[i]
+			if p.ScalePc != c || p.FractionPc != f {
+				t.Fatalf("cell %d coords (%g,%g), want (%g,%g)", i, p.ScalePc, p.FractionPc, c, f)
+			}
+			if direct.Accuracy != p.Result.Accuracy || direct.RelChangePc != p.Result.RelChangePc {
+				t.Fatalf("cell %d: direct run %+v != grid %+v", i, *direct, *p.Result)
+			}
+			i++
+		}
+	}
+	if e.TrainCount() != trained {
+		t.Fatalf("direct replays retrained %d networks: the scenario compiler is not producing the canonical plans", e.TrainCount()-trained)
+	}
+}
+
+// tieredExperiment gives an experiment a disk tier over dir.
+func tieredExperiment(t *testing.T, nImages int, dir string) (*Experiment, *runner.DiskCache[*Result]) {
+	t.Helper()
+	e := tinyExperiment(t, nImages)
+	disk, err := runner.NewDiskCache[*Result](dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Cache = runner.NewTiered[*Result](e.Cache, disk)
+	return e, disk
+}
+
+// TestColdProcessResume is the resumability contract: a second
+// experiment (fresh memory cache — a new process) over a warm cache
+// directory retrains only the cells the first run never computed, and
+// a third run of the full campaign trains zero networks.
+func TestColdProcessResume(t *testing.T) {
+	dir := t.TempDir()
+	e1, disk1 := tieredExperiment(t, 40, dir)
+	e1.Workers = 4
+	first, err := e1.LayerGrid(Inhibitory, []float64{-20}, []float64{50, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e1.TrainCount(); got != 3 { // 2 cells + baseline
+		t.Fatalf("first process trained %d, want 3", got)
+	}
+	if err := disk1.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second process: a superset campaign. Only the new coordinate's
+	// cells are missing from disk — the baseline and the first run's
+	// cells must come back without training.
+	e2, _ := tieredExperiment(t, 40, dir)
+	e2.Workers = 4
+	second, err := e2.LayerGrid(Inhibitory, []float64{-20, 10}, []float64{50, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e2.TrainCount(); got != 2 {
+		t.Fatalf("resumed process trained %d networks, want only the 2-cell delta", got)
+	}
+	samePoints(t, 4, second[:2], first)
+
+	// Third process, identical campaign: everything is on disk.
+	e3, _ := tieredExperiment(t, 40, dir)
+	e3.Workers = 4
+	third, err := e3.LayerGrid(Inhibitory, []float64{-20, 10}, []float64{50, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e3.TrainCount(); got != 0 {
+		t.Fatalf("fully-warm process trained %d networks, want 0", got)
+	}
+	samePoints(t, 4, third, second)
+}
+
+// TestExtensionFaultsPooledAndCached is the extension port's contract:
+// weight and learning-rate faults are content-addressed campaign cells
+// — repeated runs retrain zero networks (in-process and across a disk
+// resume), they count toward TrainCount, and they stream to sinks.
+func TestExtensionFaultsPooledAndCached(t *testing.T) {
+	dir := t.TempDir()
+	e, _ := tieredExperiment(t, 40, dir)
+	var buf bytes.Buffer
+	sink := runner.NewJSONLSink(&buf)
+	e.Sinks = []runner.Sink{sink}
+
+	wspec := WeightFaultSpec{Scale: 0.7, Fraction: 0.5, EveryNImages: 10, Seed: 11}
+	lspec := LearningRateFaultSpec{Scale: 0.5}
+	w1, err := e.RunWeightFault(wspec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.TrainCount(); got != 2 { // baseline + fault cell
+		t.Fatalf("weight fault accounted %d trains, want 2", got)
+	}
+	l1, err := e.RunLearningRateFault(lspec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.TrainCount(); got != 3 {
+		t.Fatalf("learning-rate fault accounted %d trains, want 3", got)
+	}
+
+	// Repeated extension runs retrain zero times.
+	w2, err := e.RunWeightFault(wspec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := e.RunLearningRateFault(lspec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.TrainCount(); got != 3 {
+		t.Fatalf("repeated extension runs retrained %d networks, want 0", got-3)
+	}
+	if w1.Accuracy != w2.Accuracy || l1.Accuracy != l2.Accuracy {
+		t.Fatal("cached extension results differ from the originals")
+	}
+
+	// A distinct cadence is a distinct content address.
+	if _, err := e.RunWeightFault(WeightFaultSpec{Scale: 0.7, Fraction: 0.5, EveryNImages: 20, Seed: 11}); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.TrainCount(); got != 4 {
+		t.Fatalf("distinct cadence trained %d networks, want 1 more", got-3)
+	}
+
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"sweep":"ext-weight-fault"`) || !strings.Contains(out, `"sweep":"ext-learning-rate"`) {
+		t.Fatalf("extension cells did not stream to sinks:\n%s", out)
+	}
+
+	// Cold-process resume covers extensions too.
+	e2, _ := tieredExperiment(t, 40, dir)
+	w3, err := e2.RunWeightFault(wspec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e2.TrainCount(); got != 0 {
+		t.Fatalf("warm-disk extension run trained %d networks, want 0", got)
+	}
+	if w3.Accuracy != w1.Accuracy || w3.RelChangePc != w1.RelChangePc {
+		t.Fatal("disk-resumed extension result drifted")
+	}
+}
+
+// TestWeightFaultHitsDistinctSynapses: the drift must hit exactly
+// Fraction·total distinct synapses, never double-scaling one (the old
+// rng.Intn sampling drew with replacement).
+func TestWeightFaultHitsDistinctSynapses(t *testing.T) {
+	cfg := snn.DefaultConfig()
+	cfg.NExc, cfg.NInh = 16, 16
+	n, err := snn.NewDiehlCook(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range n.W.Data {
+		n.W.Data[i] = 1
+	}
+	spec := WeightFaultSpec{Scale: 0.5, Fraction: 0.25, Seed: 3}
+	spec.apply(n, rand.New(rand.NewSource(spec.Seed)))
+
+	total := len(n.W.Data)
+	want := int(spec.Fraction*float64(total) + 0.5)
+	hit := 0
+	for _, w := range n.W.Data {
+		switch w {
+		case 1: // untouched
+		case 0.5: // scaled exactly once
+			hit++
+		default:
+			t.Fatalf("synapse scaled more than once: weight %g", w)
+		}
+	}
+	if hit != want {
+		t.Fatalf("drift hit %d synapses, want exactly %d of %d", hit, want, total)
+	}
+}

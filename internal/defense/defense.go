@@ -26,12 +26,19 @@ import (
 )
 
 // Defense hardens a fault plan: it returns the plan that results when
-// the same physical attack hits the defended circuit.
+// the same physical attack hits the defended circuit. The interface is
+// identical to core.Hardening, so any Defense can be listed as a
+// scenario's defended column (core.Scenario.Defenses) directly.
 type Defense interface {
 	// Name identifies the defense in reports.
 	Name() string
 	// Harden maps an attack plan onto the defended implementation.
 	Harden(plan *core.FaultPlan) *core.FaultPlan
+}
+
+// Every defense doubles as a scenario hardening column.
+var _ = []core.Hardening{
+	RobustDriver{}, BandgapThreshold{}, Sizing{}, ComparatorNeuron{},
 }
 
 // clonePlan deep-copies a plan for mutation.

@@ -3,6 +3,7 @@ package defense
 import (
 	"fmt"
 
+	"snnfi/internal/core"
 	"snnfi/internal/xfer"
 )
 
@@ -85,4 +86,44 @@ func (d DetectorConfig) DetectionSweep(vdds []float64) []Verdict {
 		out = append(out, d.Check(v))
 	}
 	return out
+}
+
+// DetectorConfig judges scenario cells alongside the attack matrix.
+var _ core.CellJudge = DetectorConfig{}
+
+// Judge implements core.CellJudge: it recovers the local supply
+// excursion the attack cell implies and runs the detection rule at
+// that VDD. Black-box cells carry the supply directly in their sweep
+// coordinate; white-box cells imply it through the circuit transfer
+// curves — the VDD that would have produced the injected threshold
+// (or, for driver-only attacks, amplitude) corruption. Cells implying
+// no supply excursion (an ad-hoc nil plan, a pure baseline) are never
+// flagged.
+func (d DetectorConfig) Judge(p core.SweepPoint, plan *core.FaultPlan) bool {
+	vdd, ok := impliedVDD(d.Kind, p, plan)
+	if !ok {
+		return false
+	}
+	return d.Check(vdd).Detected
+}
+
+// impliedVDD recovers the supply excursion behind one attack cell.
+func impliedVDD(kind xfer.NeuronKind, p core.SweepPoint, plan *core.FaultPlan) (float64, bool) {
+	if p.VDD != 0 {
+		return p.VDD, true
+	}
+	if plan == nil {
+		return 0, false
+	}
+	for _, f := range plan.Faults {
+		if f.Layer == core.Excitatory || f.Layer == core.Inhibitory {
+			return xfer.ThresholdRatio(kind).Inverse(f.Scale), true
+		}
+	}
+	for _, f := range plan.Faults {
+		if f.Layer == core.Drivers {
+			return xfer.DriverAmplitudeRatio().Inverse(f.Scale), true
+		}
+	}
+	return 0, false
 }

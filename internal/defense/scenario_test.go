@@ -1,0 +1,113 @@
+package defense
+
+import (
+	"bytes"
+	"testing"
+
+	"snnfi/internal/core"
+	"snnfi/internal/runner"
+	"snnfi/internal/snn"
+	"snnfi/internal/xfer"
+)
+
+// TestDefendedSweepThroughScenario is the acceptance matrix: Attack 5
+// crossed with the 32× sizing defense, judged by the dummy-neuron
+// detector, runs as one scenario whose records are byte-identical at
+// -workers 1 and 4 with the defense and detected fields populated.
+func TestDefendedSweepThroughScenario(t *testing.T) {
+	cfg := snn.DefaultConfig()
+	cfg.NExc, cfg.NInh = 16, 16
+	cfg.Steps = 60
+	e, err := core.NewExperiment("", 60, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &core.Scenario{
+		Name:     "attack5-sizing",
+		Attack:   core.Attack5,
+		Axes:     core.Axes{VDDs: []float64{0.8, 1.0}, Kind: xfer.AxonHillock},
+		Defenses: []core.Hardening{Sizing{WLMultiple: 32}},
+		Detector: NewDetector(xfer.AxonHillock),
+	}
+	var ref []core.SweepPoint
+	var refJSONL []byte
+	for _, workers := range []int{1, 4} {
+		e.Cache = runner.NewMemoryCache[*core.Result]()
+		e.Workers = workers
+		var buf bytes.Buffer
+		sink := runner.NewJSONLSink(&buf)
+		e.Sinks = []runner.Sink{sink}
+		pts, err := e.RunScenario(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sink.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if workers == 1 {
+			ref, refJSONL = pts, buf.Bytes()
+			continue
+		}
+		if !bytes.Equal(buf.Bytes(), refJSONL) {
+			t.Fatalf("workers=%d: streamed JSONL differs from serial:\n%s\nvs\n%s",
+				workers, buf.Bytes(), refJSONL)
+		}
+		for i := range pts {
+			g, w := pts[i], ref[i]
+			if g.VDD != w.VDD || g.Defense != w.Defense || g.Detected != w.Detected ||
+				g.Result.Accuracy != w.Result.Accuracy ||
+				g.Result.RelChangePc != w.Result.RelChangePc ||
+				g.Result.Plan.Name != w.Result.Plan.Name {
+				t.Fatalf("workers=%d: point %d differs: %+v vs %+v", workers, i, g, w)
+			}
+		}
+	}
+	if len(ref) != 4 { // 2 VDDs × (undefended + sizing)
+		t.Fatalf("%d points, want 4", len(ref))
+	}
+	wantDefense := Sizing{WLMultiple: 32}.Name()
+	if ref[0].Defense != "" || ref[1].Defense != wantDefense {
+		t.Fatalf("defense columns wrong: %q, %q", ref[0].Defense, ref[1].Defense)
+	}
+	// The detector sees the physical glitch: 0.8 V flagged on both
+	// columns, nominal 1.0 V silent.
+	if !ref[0].Detected || !ref[1].Detected {
+		t.Fatal("VDD=0.8 cells must be detected")
+	}
+	if ref[2].Detected || ref[3].Detected {
+		t.Fatal("nominal-supply cells must stay silent")
+	}
+	if !bytes.Contains(refJSONL, []byte(`"defense":"`+wantDefense+`"`)) ||
+		!bytes.Contains(refJSONL, []byte(`"detected":true`)) {
+		t.Fatalf("records lack populated defense/detected fields:\n%s", refJSONL)
+	}
+	// Hardening must help: the defended 0.8 V cell cannot be worse
+	// than the undefended one.
+	if ref[1].Result.RelChangePc < ref[0].Result.RelChangePc {
+		t.Fatalf("sizing made the attack worse: %+.2f%% vs %+.2f%%",
+			ref[1].Result.RelChangePc, ref[0].Result.RelChangePc)
+	}
+}
+
+// TestDetectorJudgesWhiteBoxCells: DetectorConfig recovers the implied
+// supply excursion of threshold-only (Attack 4) and driver-only
+// (Attack 1) plans and applies the paper's ±10% count rule.
+func TestDetectorJudgesWhiteBoxCells(t *testing.T) {
+	det := NewDetector(xfer.AxonHillock)
+
+	deep := core.NewAttack4(xfer.ThresholdRatio(xfer.AxonHillock).At(0.8))
+	if !det.Judge(core.SweepPoint{ScalePc: -18}, deep) {
+		t.Fatal("a -18% threshold plan implies a 0.8 V glitch and must be flagged")
+	}
+	nominal := core.NewAttack4(1.0)
+	if det.Judge(core.SweepPoint{}, nominal) {
+		t.Fatal("a nominal-scale plan implies no glitch")
+	}
+	driver := core.NewAttack1(xfer.DriverAmplitudeRatio().At(0.8))
+	if !det.Judge(core.SweepPoint{ScalePc: -20}, driver) {
+		t.Fatal("a driver-amplitude plan implying 0.8 V must be flagged")
+	}
+	if det.Judge(core.SweepPoint{}, nil) {
+		t.Fatal("a nil plan (baseline cell) must never be flagged")
+	}
+}

@@ -107,14 +107,18 @@ func KeyOf(parts ...any) string {
 
 // DeriveSeed deterministically derives a child seed from a base seed
 // and a set of discriminators (e.g. sweep coordinates), for campaigns
-// whose jobs need distinct but replayable randomness. The derivation
-// is pure, so replaying a campaign — at any worker count — reproduces
-// every job's seed exactly.
+// whose jobs need distinct but replayable randomness. Discriminators
+// are rendered through the same address-free canonical form KeyOf
+// uses (the previous %#v rendering embedded the hex addresses of
+// pointer fields, which made seeds vary run to run), so replaying a
+// campaign — at any worker count, in any process — reproduces every
+// job's seed exactly. The KeyOf data-only contract applies.
 func DeriveSeed(base int64, parts ...any) int64 {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%d\x1f", base)
 	for _, p := range parts {
-		fmt.Fprintf(h, "%#v\x1f", p)
+		writeCanonical(h, reflect.ValueOf(p), 0)
+		h.Write([]byte{0x1f})
 	}
 	return int64(h.Sum64())
 }

@@ -1,0 +1,180 @@
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// DiskCache is a Cache backed by one JSON file per key, so results
+// survive the process that computed them: a killed campaign resumed
+// against the same directory recomputes only the missing entries.
+//
+// Values round-trip through encoding/json, which preserves float64
+// exactly (shortest round-trip rendering), so a resumed campaign
+// streams byte-identical records. The value type must therefore be
+// JSON-codable: exported fields, no cycles.
+//
+// Writes are safe for concurrent writers — in one process and across
+// processes — because Put writes to a private temp file and renames it
+// into place (atomic on POSIX), so readers never observe a partial
+// entry. A corrupt or unreadable entry degrades to a miss, never an
+// error: the worst a damaged cache can do is cost a recomputation.
+type DiskCache[T any] struct {
+	dir string
+
+	mu     sync.Mutex
+	hits   int64
+	misses int64
+	err    error
+}
+
+// NewDiskCache opens (creating if needed) a cache directory.
+func NewDiskCache[T any](dir string) (*DiskCache[T], error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &DiskCache[T]{dir: dir}, nil
+}
+
+// Dir returns the cache directory.
+func (c *DiskCache[T]) Dir() string { return c.dir }
+
+// path maps a key to its entry file. KeyOf digests are already safe
+// filenames; anything else (uppercase, separators, overlong) is
+// re-hashed so arbitrary keys can never escape the directory.
+func (c *DiskCache[T]) path(key string) string {
+	safe := key != "" && len(key) <= 128
+	for i := 0; safe && i < len(key); i++ {
+		ch := key[i]
+		safe = ch == '-' || ch == '_' ||
+			(ch >= '0' && ch <= '9') || (ch >= 'a' && ch <= 'z')
+	}
+	if !safe {
+		sum := sha256.Sum256([]byte(key))
+		key = hex.EncodeToString(sum[:])
+	}
+	return filepath.Join(c.dir, key+".json")
+}
+
+// Get loads the entry for key, if a well-formed one exists.
+func (c *DiskCache[T]) Get(key string) (T, bool) {
+	var v T
+	if c == nil {
+		return v, false
+	}
+	data, err := os.ReadFile(c.path(key))
+	if err != nil || json.Unmarshal(data, &v) != nil {
+		var zero T
+		c.count(&c.misses)
+		return zero, false
+	}
+	c.count(&c.hits)
+	return v, true
+}
+
+// Put persists v under key via temp-file + rename, replacing any
+// previous entry. Failures are remembered (see Err) but do not stop
+// the campaign — a result that fails to persist is recomputed on
+// resume, never lost silently mid-run.
+func (c *DiskCache[T]) Put(key string, v T) {
+	if c == nil {
+		return
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		c.setErr(err)
+		return
+	}
+	tmp, err := os.CreateTemp(c.dir, ".put-*")
+	if err != nil {
+		c.setErr(err)
+		return
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), c.path(key))
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		c.setErr(werr)
+	}
+}
+
+// Err reports the first persistence failure, if any. Lookups never
+// error (they degrade to misses); this surfaces write problems — a
+// full or read-only disk — that would otherwise silently disable
+// resumability.
+func (c *DiskCache[T]) Err() error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// Stats reports lookup hits and misses since creation.
+func (c *DiskCache[T]) Stats() (hits, misses int64) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+func (c *DiskCache[T]) count(field *int64) {
+	c.mu.Lock()
+	*field++
+	c.mu.Unlock()
+}
+
+func (c *DiskCache[T]) setErr(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	c.mu.Unlock()
+}
+
+// Tiered composes a fast cache over a slow one, write-through: Get
+// tries Fast first and promotes Slow hits into Fast; Put stores in
+// both. The canonical pairing is MemoryCache over DiskCache — process-
+// local lookups stay lock-cheap while every result still reaches disk
+// for cross-process resume.
+type Tiered[T any] struct {
+	Fast Cache[T]
+	Slow Cache[T]
+}
+
+// NewTiered builds the write-through composition.
+func NewTiered[T any](fast, slow Cache[T]) Tiered[T] {
+	return Tiered[T]{Fast: fast, Slow: slow}
+}
+
+// Get implements Cache.
+func (c Tiered[T]) Get(key string) (T, bool) {
+	if v, ok := c.Fast.Get(key); ok {
+		return v, true
+	}
+	if v, ok := c.Slow.Get(key); ok {
+		c.Fast.Put(key, v)
+		return v, true
+	}
+	var zero T
+	return zero, false
+}
+
+// Put implements Cache.
+func (c Tiered[T]) Put(key string, v T) {
+	c.Fast.Put(key, v)
+	c.Slow.Put(key, v)
+}

@@ -26,6 +26,15 @@ type TrainResult struct {
 // protocol: "all experiments are conducted on 1000 Poisson-encoded
 // training images", with accuracy measured on those images.
 func Train(n *DiehlCook, images []mnist.Image, enc *encoding.PoissonEncoder) (*TrainResult, error) {
+	return TrainObserved(n, images, enc, nil)
+}
+
+// TrainObserved is Train with a per-presentation hook: beforeImage,
+// when non-nil, runs before image i is encoded and presented.
+// Fault-injection campaigns use it to corrupt network parameters
+// mid-training (e.g. re-applying synaptic drift every N images)
+// without duplicating the training/labeling/scoring loop.
+func TrainObserved(n *DiehlCook, images []mnist.Image, enc *encoding.PoissonEncoder, beforeImage func(i int)) (*TrainResult, error) {
 	if len(images) == 0 {
 		return nil, fmt.Errorf("snn: no training images")
 	}
@@ -34,6 +43,9 @@ func Train(n *DiehlCook, images []mnist.Image, enc *encoding.PoissonEncoder) (*T
 		Labels:   make([]uint8, 0, len(images)),
 	}
 	for i := range images {
+		if beforeImage != nil {
+			beforeImage(i)
+		}
 		enc.Begin(&images[i])
 		counts := n.RunImageStream(enc.EncodeStep, true)
 		res.TotalSpikes += counts.Sum()

@@ -529,6 +529,62 @@ func BenchmarkStep_Train(b *testing.B) { benchStepTrain(b, true) }
 // evaluation path).
 func BenchmarkStep_Infer(b *testing.B) { benchStepTrain(b, false) }
 
+// --- Intra-cell inference engine benches ---
+
+// BenchmarkEvaluate is the acceptance bench for the intra-cell
+// parallel inference engine: a full read-only evaluation pass
+// (64 images at the reduced network scale) against one frozen Params
+// view, at several worker counts. Results are bit-identical at every
+// width; on a ≥4-core machine workers=4 should be ≥3× faster than
+// workers=1 (enforced by snn.TestEvaluateParallelSpeedup).
+func BenchmarkEvaluate(b *testing.B) {
+	cfg := benchConfig()
+	n, err := snn.NewDiehlCook(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := n.Params()
+	images := mnist.Synthetic(64, 3)
+	assignments := make([]int, cfg.NExc)
+	for j := range assignments {
+		assignments[j] = j % 10
+	}
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				acc, err = snn.EvaluateParallel(p, images, assignments, snn.EvalOptions{Workers: w, Seed: 42})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(images))*float64(b.N)/b.Elapsed().Seconds(), "images/s")
+			_ = acc
+		})
+	}
+}
+
+// BenchmarkCountsParallel measures the label-assignment kernel (the
+// counts-returning variant TrainWith's second pass runs).
+func BenchmarkCountsParallel(b *testing.B) {
+	cfg := benchConfig()
+	n, err := snn.NewDiehlCook(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := n.Params()
+	images := mnist.Synthetic(64, 3)
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := snn.CountsParallel(p, images, snn.EvalOptions{Workers: w, Seed: 42}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- End-to-end throughput benches ---
 
 func BenchmarkTrainImage(b *testing.B) {

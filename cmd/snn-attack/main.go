@@ -8,6 +8,7 @@
 //	snn-attack -attack 3 -change -20 -fraction 100 [-n 1000]
 //	snn-attack -attack 5 -vdd 0.8 [-defense bandgap] [-cache-dir DIR]
 //	snn-attack -attack 4 -change -20 -defense sizing
+//	snn-attack -attack 4 -change -20 -cache-dir DIR -audit
 //
 // Attacks: 1 (driver theta), 2 (excitatory threshold), 3 (inhibitory
 // threshold), 4 (both layers), 5 (black-box VDD).
@@ -18,7 +19,9 @@
 // on internal/runner's campaign pool: -workers sizes it, -jsonl
 // streams every cell as a JSON-lines record, and -cache-dir persists
 // trained results so a repeated invocation (same data, same
-// configuration) retrains nothing.
+// configuration) retrains nothing. -audit (with -cache-dir) prints
+// which of the scenario's cells the directory already holds and exits
+// without training anything.
 package main
 
 import (
@@ -54,8 +57,12 @@ func run() (retErr error) {
 		workers  = flag.Int("workers", 0, "campaign worker-pool size (0 = all CPUs)")
 		jsonl    = flag.String("jsonl", "", "optional JSONL file recording every cell")
 		cacheDir = flag.String("cache-dir", "", "optional directory persisting trained results across runs")
+		audit    = flag.Bool("audit", false, "report which cells -cache-dir already holds, without training anything")
 	)
 	flag.Parse()
+	if *audit && *cacheDir == "" {
+		return fmt.Errorf("-audit needs -cache-dir to inspect")
+	}
 
 	scn := &core.Scenario{Detector: defense.NewDetector(xfer.IAF)}
 	switch *attack {
@@ -98,6 +105,27 @@ func run() (retErr error) {
 			return err
 		}
 		exp.Cache = runner.NewTiered[*core.Result](exp.Cache, disk)
+	}
+	if *audit {
+		keys, err := disk.Manifest()
+		if err != nil {
+			return err
+		}
+		a, err := exp.AuditScenario(scn, core.HeldSet(keys))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("audit of %s against %s (%d keys held):\n", a.Name, *cacheDir, len(keys))
+		for _, c := range a.Cells {
+			status := "MISSING"
+			if c.Present {
+				status = "present"
+			}
+			fmt.Printf("  %-8s %s\n", status, c.Desc)
+		}
+		fmt.Printf("%d/%d cells on disk; a resume would recompute %d cells\n",
+			a.Present, a.Present+a.Missing, a.Missing)
+		return nil
 	}
 	if *jsonl != "" {
 		f, err := os.Create(*jsonl)

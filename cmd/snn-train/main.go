@@ -6,6 +6,13 @@
 // Usage:
 //
 //	snn-train [-n 1000] [-data DIR] [-neurons 100] [-steps 250] [-seed 1]
+//	          [-workers N] [-cache-dir DIR]
+//
+// The post-training label-assignment pass runs on the intra-cell
+// evaluation pool: -workers sizes it (0 = all CPUs) and results are
+// bit-identical at every width. -cache-dir persists the trained result
+// by content address, so a repeated invocation with identical data and
+// configuration trains nothing.
 package main
 
 import (
@@ -15,36 +22,65 @@ import (
 
 	"snnfi/internal/encoding"
 	"snnfi/internal/mnist"
+	"snnfi/internal/runner"
 	"snnfi/internal/snn"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "snn-train:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
-		nImages = flag.Int("n", 1000, "training images")
-		dataDir = flag.String("data", "", "optional real-MNIST directory (IDX files)")
-		neurons = flag.Int("neurons", 100, "excitatory/inhibitory neurons per layer")
-		steps   = flag.Int("steps", 250, "presentation steps per image (ms)")
-		seed    = flag.Int64("seed", 1, "weight-initialization seed")
+		nImages  = flag.Int("n", 1000, "training images")
+		dataDir  = flag.String("data", "", "optional real-MNIST directory (IDX files)")
+		neurons  = flag.Int("neurons", 100, "excitatory/inhibitory neurons per layer")
+		steps    = flag.Int("steps", 250, "presentation steps per image (ms)")
+		seed     = flag.Int64("seed", 1, "weight-initialization seed")
+		workers  = flag.Int("workers", 0, "assignment-pass worker-pool size (0 = all CPUs)")
+		cacheDir = flag.String("cache-dir", "", "optional directory persisting the trained result across runs")
 	)
 	flag.Parse()
 
 	images, err := mnist.Load(*dataDir, *nImages, 7)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	cfg := snn.DefaultConfig()
 	cfg.NExc, cfg.NInh = *neurons, *neurons
 	cfg.Steps = *steps
 	cfg.Seed = *seed
 
-	net, err := snn.NewDiehlCook(cfg)
-	if err != nil {
-		fatal(err)
+	const encSeed = 42
+	var (
+		disk *runner.DiskCache[*snn.TrainResult]
+		key  string
+	)
+	if *cacheDir != "" {
+		disk, err = runner.NewDiskCache[*snn.TrainResult](*cacheDir)
+		if err != nil {
+			return err
+		}
+		key = runner.KeyOf("snn-train", snn.ProtocolVersion, cfg, int64(encSeed), len(images), mnist.Digest(images))
 	}
-	enc := encoding.NewPoissonEncoder(42)
-	res, err := snn.Train(net, images, enc)
-	if err != nil {
-		fatal(err)
+
+	trained := 0
+	res, cached := disk.Get(key)
+	if !cached {
+		net, err := snn.NewDiehlCook(cfg)
+		if err != nil {
+			return err
+		}
+		enc := encoding.NewPoissonEncoder(encSeed)
+		res, err = snn.TrainWith(net, images, enc, snn.TrainOptions{Workers: *workers})
+		if err != nil {
+			return err
+		}
+		trained = 1
+		disk.Put(key, res)
 	}
 
 	fmt.Printf("images: %d   neurons: %d+%d   steps/image: %d\n",
@@ -60,9 +96,10 @@ func main() {
 		}
 	}
 	fmt.Printf("neurons assigned per class: %v\n", perClass)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "snn-train:", err)
-	os.Exit(1)
+	// The count -cache-dir drives to zero on a warm repeat.
+	fmt.Printf("trained networks: %d\n", trained)
+	if disk != nil {
+		return disk.Err()
+	}
+	return nil
 }

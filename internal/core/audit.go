@@ -1,0 +1,63 @@
+package core
+
+// Campaign manifest audit: given a scenario and the set of keys a
+// result cache holds (runner.DiskCache.Manifest), report which cells
+// are already computed and which a resume would retrain — without
+// training anything. cmd/snn-attack surfaces this as -audit.
+
+// CellStatus is one compiled cell's cache standing.
+type CellStatus struct {
+	Desc    string // human cell description (compile order)
+	Key     string // content address the cache is probed with
+	Present bool
+}
+
+// ScenarioAudit summarizes a scenario's resume status against a cache.
+type ScenarioAudit struct {
+	Name    string
+	Cells   []CellStatus // baseline first, then compile order
+	Present int
+	Missing int
+}
+
+// Complete reports whether a resume would retrain nothing.
+func (a *ScenarioAudit) Complete() bool { return a.Missing == 0 }
+
+// AuditScenario compiles the scenario and checks every cell's content
+// address — plus the shared attack-free baseline's — against held,
+// typically a set built from runner.DiskCache.Manifest. Nothing is
+// trained or loaded; the audit is pure key arithmetic.
+func (e *Experiment) AuditScenario(s *Scenario, held func(key string) bool) (*ScenarioAudit, error) {
+	cells, meta, err := s.compile()
+	if err != nil {
+		return nil, err
+	}
+	audit := &ScenarioAudit{
+		Name:  meta.name,
+		Cells: make([]CellStatus, 0, len(cells)+1),
+	}
+	add := func(desc, key string) {
+		st := CellStatus{Desc: desc, Key: key, Present: held(key)}
+		if st.Present {
+			audit.Present++
+		} else {
+			audit.Missing++
+		}
+		audit.Cells = append(audit.Cells, st)
+	}
+	add("baseline (attack-free)", e.planKey(nil))
+	for _, c := range cells {
+		add(c.desc, c.key(e))
+	}
+	return audit, nil
+}
+
+// HeldSet adapts a key list (runner.DiskCache.Manifest output) into
+// the membership predicate AuditScenario consumes.
+func HeldSet(keys []string) func(string) bool {
+	set := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		set[k] = true
+	}
+	return func(k string) bool { return set[k] }
+}

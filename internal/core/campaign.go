@@ -1,9 +1,8 @@
 package core
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -31,8 +30,12 @@ type Experiment struct {
 	Cfg     snn.DiehlCookConfig
 	EncSeed int64
 
-	// Workers sizes the sweep worker pool; ≤0 uses all CPUs
-	// (runtime.GOMAXPROCS). Results are identical at every width.
+	// Workers sizes the total worker budget: the sweep cell pool, with
+	// each in-flight cell's intra-cell assignment pass receiving an
+	// equal share of the remaining width (a single-cell campaign runs
+	// its read-only pass at full width; a wide campaign runs cells at
+	// width 1 each). ≤0 uses all CPUs (runtime.GOMAXPROCS). Results
+	// are identical at every width.
 	Workers int
 	// OnProgress, when non-nil, observes each completed sweep cell.
 	OnProgress func(runner.Progress)
@@ -84,16 +87,13 @@ type Result struct {
 }
 
 // fingerprint content-addresses the experiment: the image corpus, the
-// network configuration and the encoder seed. Everything a trained
-// result depends on besides the fault plan.
+// network configuration, the encoder seed and the training-protocol
+// version (snn.ProtocolVersion, so caches written under older
+// semantics miss rather than serve pre-engine values). Everything a
+// trained result depends on besides the fault plan.
 func (e *Experiment) fingerprint() string {
 	e.fpOnce.Do(func() {
-		h := sha256.New()
-		for i := range e.Images {
-			h.Write(e.Images[i].Pixels[:])
-			h.Write([]byte{e.Images[i].Label})
-		}
-		e.fp = runner.KeyOf("experiment-v1", e.Cfg, e.EncSeed, len(e.Images), hex.EncodeToString(h.Sum(nil)))
+		e.fp = runner.KeyOf("experiment", snn.ProtocolVersion, e.Cfg, e.EncSeed, len(e.Images), mnist.Digest(e.Images))
 	})
 	return e.fp
 }
@@ -105,8 +105,13 @@ func (e *Experiment) planKey(plan *FaultPlan) string {
 
 // train trains one fresh network under plan (nil = attack-free) and
 // returns its raw score. Safe for concurrent use: every call builds
-// its own network and encoder from the experiment's fixed seeds.
-func (e *Experiment) train(plan *FaultPlan) (*snn.TrainResult, error) {
+// its own network and encoder from the experiment's fixed seeds, and
+// the cell's read-only assignment pass runs on the intra-cell
+// evaluation pool (snn.CountsParallel) at the given width — the full
+// Workers for stand-alone runs, a campaign-divided share for sweep
+// cells (see runCampaign), so cell-level and intra-cell parallelism
+// compose instead of multiplying.
+func (e *Experiment) train(plan *FaultPlan, evalWorkers int) (*snn.TrainResult, error) {
 	e.trains.Add(1)
 	n, err := snn.NewDiehlCook(e.Cfg)
 	if err != nil {
@@ -120,7 +125,7 @@ func (e *Experiment) train(plan *FaultPlan) (*snn.TrainResult, error) {
 		defer revert()
 	}
 	enc := encoding.NewPoissonEncoder(e.EncSeed)
-	return snn.Train(n, e.Images, enc)
+	return snn.TrainWith(n, e.Images, enc, snn.TrainOptions{Workers: evalWorkers})
 }
 
 // TrainCount reports how many networks the experiment has trained so
@@ -139,7 +144,7 @@ func (e *Experiment) Run(plan *FaultPlan) (*Result, error) {
 	if r, ok := e.Cache.Get(key); ok {
 		return r, nil
 	}
-	r, err := e.runUncached(plan)
+	r, err := e.runUncached(plan, e.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -151,8 +156,8 @@ func (e *Experiment) Run(plan *FaultPlan) (*Result, error) {
 // consulting the cache. Sweep jobs call it directly: the campaign
 // pool owns the single Get/Put for them, so a cell is looked up and
 // stored exactly once per execution.
-func (e *Experiment) runUncached(plan *FaultPlan) (*Result, error) {
-	res, err := e.train(plan)
+func (e *Experiment) runUncached(plan *FaultPlan, evalWorkers int) (*Result, error) {
+	res, err := e.train(plan, evalWorkers)
 	if err != nil {
 		return nil, err
 	}
@@ -163,9 +168,9 @@ func (e *Experiment) runUncached(plan *FaultPlan) (*Result, error) {
 // cell whose corruption is not a FaultPlan) and scores it like any
 // plan cell: it counts toward TrainCount and is scored against the
 // shared baseline. plan only names the configuration in the result.
-func (e *Experiment) scoreTrained(plan *FaultPlan, train func() (*snn.TrainResult, error)) (*Result, error) {
+func (e *Experiment) scoreTrained(plan *FaultPlan, train func(evalWorkers int) (*snn.TrainResult, error), evalWorkers int) (*Result, error) {
 	e.trains.Add(1)
-	res, err := train()
+	res, err := train(evalWorkers)
 	if err != nil {
 		return nil, err
 	}
@@ -213,7 +218,9 @@ func (e *Experiment) baselineResult() (*Result, error) {
 		e.baseRes = r
 		return r, nil
 	}
-	res, err := e.train(nil)
+	// The baseline trains alone (runCampaign computes it before fanning
+	// out), so its assignment pass gets the full pool width.
+	res, err := e.train(nil, e.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -256,7 +263,7 @@ type campaignJob struct {
 	desc  string
 
 	keyOverride string
-	train       func() (*snn.TrainResult, error)
+	train       func(evalWorkers int) (*snn.TrainResult, error)
 }
 
 // key is the cell's content address.
@@ -296,6 +303,20 @@ func (e *Experiment) runCampaign(meta campaignMeta, cells []campaignJob) ([]Swee
 	if _, err := e.Baseline(); err != nil {
 		return nil, err
 	}
+	// Split the pool between the two levels of parallelism: with C
+	// cells in flight, each cell's read-only assignment pass gets
+	// width/C evaluation workers, so total presentation goroutines stay
+	// ≈ Workers instead of multiplying to Workers². A single-cell
+	// campaign therefore gets the whole pool inside the cell — the
+	// intra-cell engine's motivating case.
+	cellWidth := e.Workers
+	if cellWidth <= 0 {
+		cellWidth = runtime.GOMAXPROCS(0)
+	}
+	evalWorkers := cellWidth / min(cellWidth, len(cells))
+	if evalWorkers < 1 {
+		evalWorkers = 1
+	}
 	jobs := make([]runner.Job[*Result], len(cells))
 	for i := range cells {
 		c := cells[i]
@@ -310,11 +331,11 @@ func (e *Experiment) runCampaign(meta campaignMeta, cells []campaignJob) ([]Swee
 				var err error
 				switch {
 				case c.train != nil:
-					r, err = e.scoreTrained(c.plan, c.train)
+					r, err = e.scoreTrained(c.plan, c.train, evalWorkers)
 				case c.plan == nil:
 					r, err = e.baselineResult()
 				default:
-					r, err = e.runUncached(c.plan)
+					r, err = e.runUncached(c.plan, evalWorkers)
 				}
 				if err != nil {
 					return nil, fmt.Errorf("core: %s: %w", c.desc, err)

@@ -75,8 +75,8 @@ func (s WeightFaultSpec) apply(n *snn.DiehlCook, rng *rand.Rand) {
 }
 
 // cell compiles the spec into a campaign cell: a content-addressed
-// job that trains through snn.TrainObserved, re-applying the drift at
-// the spec's cadence.
+// job that trains through snn.TrainWith's BeforeImage hook,
+// re-applying the drift at the spec's cadence.
 func (s WeightFaultSpec) cell(e *Experiment) campaignJob {
 	return campaignJob{
 		plan: &FaultPlan{Name: fmt.Sprintf("ext-weight-fault-%.2fx-%.0f%%", s.Scale, 100*s.Fraction)},
@@ -84,17 +84,20 @@ func (s WeightFaultSpec) cell(e *Experiment) campaignJob {
 		// The plan above is a display name only (it omits cadence and
 		// seed); the cell is addressed by the full specification.
 		keyOverride: runner.KeyOf(e.fingerprint(), "ext-weight-fault-v1", s),
-		train: func() (*snn.TrainResult, error) {
+		train: func(evalWorkers int) (*snn.TrainResult, error) {
 			n, err := snn.NewDiehlCook(e.Cfg)
 			if err != nil {
 				return nil, err
 			}
 			rng := rand.New(rand.NewSource(s.Seed))
 			enc := encoding.NewPoissonEncoder(e.EncSeed)
-			return snn.TrainObserved(n, e.Images, enc, func(i int) {
-				if i == 0 || (s.EveryNImages > 0 && i%s.EveryNImages == 0) {
-					s.apply(n, rng)
-				}
+			return snn.TrainWith(n, e.Images, enc, snn.TrainOptions{
+				Workers: evalWorkers,
+				BeforeImage: func(i int) {
+					if i == 0 || (s.EveryNImages > 0 && i%s.EveryNImages == 0) {
+						s.apply(n, rng)
+					}
+				},
 			})
 		},
 	}
@@ -111,6 +114,50 @@ func (e *Experiment) RunWeightFaults(specs []WeightFaultSpec) ([]*Result, error)
 		cells[i] = s.cell(e)
 	}
 	return e.runExtension("ext-weight-fault", cells)
+}
+
+// WeightFaultHardening is a Hardening that additionally knows how to
+// defend extension weight-fault cells: HardenWeightFault returns the
+// spec that results when the same physical drift hits the hardened
+// synapse array (e.g. defense.WeightRefresh's periodic reprogramming
+// from the digital shadow copy).
+type WeightFaultHardening interface {
+	Hardening
+	HardenWeightFault(WeightFaultSpec) WeightFaultSpec
+}
+
+// RunWeightFaultMatrix replays each weight-fault spec undefended and
+// against every listed defense — the extension analogue of a scenario
+// matrix. All cells share one pool run, one baseline and one ordered
+// sink stream; records carry the defense column. Every defense must
+// implement WeightFaultHardening (a plain plan Hardening has no
+// meaning for a corruption that is not a FaultPlan).
+func (e *Experiment) RunWeightFaultMatrix(specs []WeightFaultSpec, defenses []Hardening) ([]SweepPoint, error) {
+	var cells []campaignJob
+	for _, s := range specs {
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+		cells = append(cells, s.cell(e))
+		for _, d := range defenses {
+			wh, ok := d.(WeightFaultHardening)
+			if !ok {
+				if d == nil {
+					return nil, fmt.Errorf("core: weight-fault matrix defense list contains nil")
+				}
+				return nil, fmt.Errorf("core: defense %q cannot harden weight-fault cells", d.Name())
+			}
+			hs := wh.HardenWeightFault(s)
+			if err := hs.Validate(); err != nil {
+				return nil, fmt.Errorf("core: defense %q hardened spec invalid: %w", d.Name(), err)
+			}
+			cell := hs.cell(e)
+			cell.point.Defense = d.Name()
+			cell.desc = fmt.Sprintf("%s [%s]", cell.desc, d.Name())
+			cells = append(cells, cell)
+		}
+	}
+	return e.runCampaign(campaignMeta{name: "ext-weight-fault", matrix: len(defenses) > 0}, cells)
 }
 
 // RunWeightFault trains a fresh network while injecting the weight
@@ -146,7 +193,7 @@ func (s LearningRateFaultSpec) cell(e *Experiment) campaignJob {
 		plan:        &FaultPlan{Name: fmt.Sprintf("ext-learning-rate-%.2fx", s.Scale)},
 		desc:        fmt.Sprintf("learning-rate fault ×%.2f", s.Scale),
 		keyOverride: runner.KeyOf(e.fingerprint(), "ext-learning-rate-v1", s),
-		train: func() (*snn.TrainResult, error) {
+		train: func(evalWorkers int) (*snn.TrainResult, error) {
 			cfg := e.Cfg
 			cfg.NuPre *= s.Scale
 			cfg.NuPost *= s.Scale
@@ -155,7 +202,7 @@ func (s LearningRateFaultSpec) cell(e *Experiment) campaignJob {
 				return nil, err
 			}
 			enc := encoding.NewPoissonEncoder(e.EncSeed)
-			return snn.Train(n, e.Images, enc)
+			return snn.TrainWith(n, e.Images, enc, snn.TrainOptions{Workers: evalWorkers})
 		},
 	}
 }

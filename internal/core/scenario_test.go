@@ -416,3 +416,80 @@ func TestWeightFaultHitsDistinctSynapses(t *testing.T) {
 		t.Fatalf("drift hit %d synapses, want exactly %d of %d", hit, want, total)
 	}
 }
+
+// TestAuditScenario: the campaign manifest audit reports exactly which
+// cells (plus the shared baseline) a cache directory holds, without
+// training anything — and flips to complete after the campaign runs.
+func TestAuditScenario(t *testing.T) {
+	dir := t.TempDir()
+	e, disk := tieredExperiment(t, 40, dir)
+	s := &Scenario{
+		Attack: Attack3,
+		Axes:   Axes{ChangesPc: []float64{-20, 10}},
+	}
+
+	manifest := func() func(string) bool {
+		keys, err := disk.Manifest()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return HeldSet(keys)
+	}
+
+	cold, err := e.AuditScenario(s, manifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.TrainCount(); got != 0 {
+		t.Fatalf("audit trained %d networks, want 0", got)
+	}
+	if cold.Complete() || cold.Present != 0 || cold.Missing != 3 { // baseline + 2 cells
+		t.Fatalf("cold audit = %+v, want 3 missing", cold)
+	}
+	if cold.Cells[0].Desc != "baseline (attack-free)" {
+		t.Fatalf("audit must lead with the baseline, got %q", cold.Cells[0].Desc)
+	}
+
+	// Run half the campaign: one coordinate.
+	if _, err := e.RunScenario(&Scenario{Attack: Attack3, Axes: Axes{ChangesPc: []float64{-20}}}); err != nil {
+		t.Fatal(err)
+	}
+	half, err := e.AuditScenario(s, manifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if half.Present != 2 || half.Missing != 1 {
+		t.Fatalf("half audit = %d present / %d missing, want 2/1", half.Present, half.Missing)
+	}
+	for _, c := range half.Cells {
+		if c.Desc == "attack 3 at +10%" && c.Present {
+			t.Fatal("unrun coordinate reported present")
+		}
+	}
+
+	// Finish the campaign: audit flips to complete, still zero training.
+	if _, err := e.RunScenario(s); err != nil {
+		t.Fatal(err)
+	}
+	trained := e.TrainCount()
+	full, err := e.AuditScenario(s, manifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full.Complete() {
+		t.Fatalf("full audit still missing %d cells", full.Missing)
+	}
+	if e.TrainCount() != trained {
+		t.Fatal("audit trained networks")
+	}
+	// The audit keys are the very keys the campaign would probe.
+	keys, err := e.ScenarioKeys(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		if full.Cells[i+1].Key != k { // +1: audit leads with the baseline
+			t.Fatalf("audit key %d disagrees with ScenarioKeys", i)
+		}
+	}
+}

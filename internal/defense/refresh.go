@@ -1,0 +1,41 @@
+package defense
+
+import (
+	"snnfi/internal/core"
+)
+
+// WeightRefresh is the defense analogue for the extension weight-fault
+// experiments (core.WeightFaultSpec): the synapse array is periodically
+// reprogrammed from the digital shadow copy the training algorithm
+// already maintains, so conductance drift accumulated since the last
+// refresh is erased. Only the drift landing between a corruption event
+// and the next refresh survives; ResidualPc models that surviving
+// excursion as a percentage of the injected one (0 = refresh beats
+// every drift event, 100 = no refresh at all).
+//
+// As a core.Hardening it leaves plan-based attacks untouched —
+// reprogramming synapses does nothing for threshold or driver faults —
+// and as a core.WeightFaultHardening it attenuates the drift scale of
+// weight-fault cells, so it can be listed in a weight-fault matrix
+// (core.RunWeightFaultMatrix) like any paper defense in a scenario.
+type WeightRefresh struct {
+	// ResidualPc is the surviving drift excursion in percent of the
+	// injected one.
+	ResidualPc float64
+}
+
+// Name implements core.Hardening.
+func (WeightRefresh) Name() string { return "weight-refresh" }
+
+// Harden implements core.Hardening: plan faults (thresholds, drivers)
+// are not synaptic state and pass through unchanged.
+func (WeightRefresh) Harden(plan *core.FaultPlan) *core.FaultPlan { return plan }
+
+// HardenWeightFault implements core.WeightFaultHardening: the drift
+// scale collapses toward nominal, leaving the residual excursion.
+func (r WeightRefresh) HardenWeightFault(s core.WeightFaultSpec) core.WeightFaultSpec {
+	s.Scale = 1 + (s.Scale-1)*r.ResidualPc/100
+	return s
+}
+
+var _ core.WeightFaultHardening = WeightRefresh{}

@@ -1,0 +1,85 @@
+package defense
+
+import (
+	"testing"
+
+	"snnfi/internal/core"
+	"snnfi/internal/snn"
+)
+
+// TestWeightRefreshMatrix runs an extension weight-fault cell
+// undefended and behind the weight-refresh hardening in one matrix.
+// The assertions are exact rather than directional (at test scale the
+// accuracy impact of a drift is noisy): a refresh with zero residual
+// erases the drift entirely — the defended cell must train to the
+// attack-free baseline bit for bit — and the defended column must be
+// the same content-addressed cell a direct run of the hardened spec
+// produces, so replaying it retrains nothing.
+func TestWeightRefreshMatrix(t *testing.T) {
+	cfg := snn.DefaultConfig()
+	cfg.NExc, cfg.NInh = 16, 16
+	cfg.Steps = 60
+	e, err := core.NewExperiment("", 40, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	refresh := WeightRefresh{ResidualPc: 0}
+	spec := core.WeightFaultSpec{Scale: 0.3, Fraction: 0.5, EveryNImages: 5, Seed: 11}
+	pts, err := e.RunWeightFaultMatrix(
+		[]core.WeightFaultSpec{spec},
+		[]core.Hardening{refresh},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("%d matrix cells, want undefended + defended", len(pts))
+	}
+	undef, def := pts[0], pts[1]
+	if undef.Defense != "" || def.Defense != "weight-refresh" {
+		t.Fatalf("defense columns wrong: %q / %q", undef.Defense, def.Defense)
+	}
+	// Zero residual means the surviving drift scale is exactly 1 — an
+	// identity corruption — so the defended training run IS the
+	// attack-free run.
+	if def.Result.Accuracy != def.Result.Baseline || def.Result.RelChangePc != 0 {
+		t.Fatalf("zero-residual refresh should recover the baseline exactly, got %+v", *def.Result)
+	}
+
+	// The defended cell is canonical: directly running the hardened
+	// spec is served from the matrix's cache without retraining.
+	trained := e.TrainCount()
+	direct, err := e.RunWeightFault(refresh.HardenWeightFault(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.TrainCount() != trained {
+		t.Fatal("direct hardened replay retrained: matrix cells are not canonically addressed")
+	}
+	if direct.Accuracy != def.Result.Accuracy {
+		t.Fatal("direct hardened run disagrees with the matrix cell")
+	}
+
+	// A partial residual attenuates rather than erases.
+	hs := WeightRefresh{ResidualPc: 10}.HardenWeightFault(spec)
+	if want := 1 + (spec.Scale-1)*10/100; hs.Scale != want {
+		t.Fatalf("10%% residual scale = %v, want %v", hs.Scale, want)
+	}
+
+	// The plan-side Harden is a pass-through: a threshold attack is not
+	// synaptic state.
+	plan := core.NewAttack3(0.8, 1, 1)
+	if got := refresh.Harden(plan); got != plan {
+		t.Fatal("Harden must pass plan faults through unchanged")
+	}
+
+	// A defense without weight-fault support is rejected, not silently
+	// skipped.
+	if _, err := e.RunWeightFaultMatrix(
+		[]core.WeightFaultSpec{spec},
+		[]core.Hardening{RobustDriver{ResidualPc: 0.1}},
+	); err == nil {
+		t.Fatal("plan-only defense must be rejected for weight-fault cells")
+	}
+}

@@ -18,6 +18,7 @@ type PoissonEncoder struct {
 	MaxRate float64 // peak firing rate for a saturated pixel (Hz)
 	Dt      float64 // timestep (ms)
 	rng     *rand.Rand
+	seed    int64
 
 	// Streaming state (Begin/EncodeStep): the image's nonzero-probability
 	// pixels and their probabilities, plus a reusable spike buffer, so
@@ -31,14 +32,25 @@ type PoissonEncoder struct {
 // NewPoissonEncoder returns an encoder with the experiment defaults
 // (128 Hz peak rate, 1 ms steps) and a deterministic stream.
 func NewPoissonEncoder(seed int64) *PoissonEncoder {
-	return &PoissonEncoder{MaxRate: 128, Dt: 1, rng: rand.New(rand.NewSource(seed))}
+	return &PoissonEncoder{MaxRate: 128, Dt: 1, rng: rand.New(rand.NewSource(seed)), seed: seed}
 }
 
 // Reseed resets the encoder's random stream, making spike trains
-// reproducible across runs over the same images.
+// reproducible across runs over the same images. The generator is
+// reinitialized in place, so per-image reseeding (the snn engine's
+// seeding contract) allocates nothing once the encoder exists.
 func (e *PoissonEncoder) Reseed(seed int64) {
-	e.rng = rand.New(rand.NewSource(seed))
+	if e.rng == nil {
+		e.rng = rand.New(rand.NewSource(seed))
+	} else {
+		e.rng.Seed(seed)
+	}
+	e.seed = seed
 }
+
+// Seed returns the seed of the most recent NewPoissonEncoder/Reseed —
+// the base from which per-image presentation seeds are derived.
+func (e *PoissonEncoder) Seed() int64 { return e.seed }
 
 // Probabilities returns the per-step spike probability of every pixel.
 func (e *PoissonEncoder) Probabilities(img *mnist.Image) []float64 {

@@ -1,0 +1,20 @@
+package mnist
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// Digest content-addresses an image corpus (pixels and labels, in
+// order). Both campaign fingerprints (internal/core) and the
+// standalone trainer's result cache (cmd/snn-train) build their keys
+// from this one digest, so the two can never disagree about what "the
+// same data" means.
+func Digest(images []Image) string {
+	h := sha256.New()
+	for i := range images {
+		h.Write(images[i].Pixels[:])
+		h.Write([]byte{images[i].Label})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

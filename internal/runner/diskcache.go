@@ -6,6 +6,8 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
 )
 
@@ -119,6 +121,32 @@ func (c *DiskCache[T]) Err() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.err
+}
+
+// Manifest returns the keys of every entry currently held, sorted —
+// the campaign-audit view of a cache directory. It lists entry files
+// without decoding them, so a corrupt entry may appear here yet still
+// degrade to a miss on Get; the manifest answers "what has been
+// persisted", not "what is guaranteed well-formed". Keys that were
+// re-hashed into safe filenames (see path) appear as their digest.
+func (c *DiskCache[T]) Manifest() ([]string, error) {
+	if c == nil {
+		return nil, nil
+	}
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return nil, err
+	}
+	var keys []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		keys = append(keys, strings.TrimSuffix(name, ".json"))
+	}
+	sort.Strings(keys)
+	return keys, nil
 }
 
 // Stats reports lookup hits and misses since creation.

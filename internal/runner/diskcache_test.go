@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"testing"
 )
@@ -183,5 +184,49 @@ func TestDeriveSeedAddressFree(t *testing.T) {
 	c := spec{Plan: &cachedResult{Name: "q", Acc: 0.5}, X: 1}
 	if DeriveSeed(7, a) == DeriveSeed(7, c) {
 		t.Fatal("distinct nested values must derive distinct seeds")
+	}
+}
+
+func TestDiskCacheManifest(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewDiskCache[*cachedResult](dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, err := c.Manifest()
+	if err != nil || len(keys) != 0 {
+		t.Fatalf("empty cache manifest = %v, %v", keys, err)
+	}
+	// KeyOf digests keep their key as the filename stem; arbitrary keys
+	// appear re-hashed (Manifest lists what the directory holds — the
+	// digest-stable addressing the campaign audit relies on).
+	kA, kB := KeyOf("cell-a"), KeyOf("cell-b")
+	c.Put(kB, &cachedResult{Name: "b"})
+	c.Put(kA, &cachedResult{Name: "a"})
+	// Junk the manifest must ignore: a temp file mid-Put, a stray
+	// non-entry file, a subdirectory.
+	if err := os.WriteFile(filepath.Join(dir, ".put-12345"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "README"), []byte("not an entry"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(filepath.Join(dir, "sub.json"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	keys, err = c.Manifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKeys := []string{kA, kB}
+	sort.Strings(wantKeys)
+	if len(keys) != 2 || keys[0] != wantKeys[0] || keys[1] != wantKeys[1] {
+		t.Fatalf("manifest = %v, want sorted %v", keys, wantKeys)
+	}
+	// A nil cache (no -cache-dir) audits as empty, not as an error.
+	var nilCache *DiskCache[*cachedResult]
+	keys, err = nilCache.Manifest()
+	if err != nil || keys != nil {
+		t.Fatalf("nil cache manifest = %v, %v", keys, err)
 	}
 }

@@ -3,6 +3,8 @@ package snn
 import (
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 
 	"snnfi/internal/tensor"
 )
@@ -94,19 +96,19 @@ type DiehlCook struct {
 	// is 1 at its spike step and decays by preTraceDecayPerMs each
 	// later step; instead of densely decaying a trace vector every
 	// step, the network records each pixel's last spike step and reads
-	// the trace as preDecayPow[stepsSince], a table built by the same
-	// iterated multiplication the dense decay would perform (so values
-	// are bit-identical). preActive lists the pixels with nonzero
-	// trace, in first-spike order; postActive likewise lists excitatory
-	// neurons with nonzero post trace (the trace itself lives densely
-	// in Exc.Trace — the excitatory support is tiny under
-	// winner-take-all dynamics).
+	// the trace as preDecayTable(d)[d] for d steps since — a table
+	// built by the same iterated multiplication the dense decay would
+	// perform (so values are bit-identical), shared by every network
+	// in the process (see preDecayTable). preActive lists the pixels
+	// with nonzero trace, in first-spike order; postActive likewise
+	// lists excitatory neurons with nonzero post trace (the trace
+	// itself lives densely in Exc.Trace — the excitatory support is
+	// tiny under winner-take-all dynamics).
 	preLastSpike []int
 	preSeen      []bool
 	preActive    []int
 	postActive   []int
 	postSeen     []bool
-	preDecayPow  []float64
 	stepT        int // steps since ResetState
 
 	// scratch
@@ -138,24 +140,57 @@ func NewDiehlCook(cfg DiehlCookConfig) (*DiehlCook, error) {
 		preLastSpike:    make([]int, cfg.NInput),
 		preSeen:         make([]bool, cfg.NInput),
 		postSeen:        make([]bool, cfg.NExc),
-		preDecayPow:     []float64{1},
 		driveExc:        tensor.NewVector(cfg.NExc),
 		driveInh:        tensor.NewVector(cfg.NInh),
 	}
-	n.growDecayPow(cfg.Steps + cfg.RestSteps)
+	preDecayTable(cfg.Steps + cfg.RestSteps) // pre-size for the presentation length
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	n.W.RandFill(rng, 0, 0.3)
 	n.NormalizeWeights()
 	return n, nil
 }
 
-// growDecayPow extends the trace decay table to cover at least k steps,
-// by the same iterated multiplication a densely stored trace would
-// undergo (decayPow[k] = decayPow[k-1]·decay, starting from 1).
-func (n *DiehlCook) growDecayPow(k int) {
-	for len(n.preDecayPow) <= k {
-		n.preDecayPow = append(n.preDecayPow, n.preDecayPow[len(n.preDecayPow)-1]*preTraceDecayPerMs)
+// The pre-synaptic trace decay table is shared by every network in the
+// process: the decay constant is fixed, so decayPow[k] is the same
+// value everywhere, and campaign cells training in parallel would
+// otherwise each rebuild an identical table. Growth is copy-on-grow
+// behind a mutex with atomic publication — readers loaded an old table
+// keep a fully valid prefix, so concurrent lookups are race-free and
+// never observe a partially built entry.
+var (
+	preDecayMu  sync.Mutex
+	preDecayTab atomic.Pointer[[]float64]
+)
+
+// preDecayTable returns a decay table covering at least k steps
+// (len > k), built by the same iterated multiplication a densely
+// stored trace would undergo (decayPow[k] = decayPow[k-1]·decay,
+// starting from 1) so values are bit-identical to dense decay.
+func preDecayTable(k int) []float64 {
+	if t := preDecayTab.Load(); t != nil && len(*t) > k {
+		return *t
 	}
+	preDecayMu.Lock()
+	defer preDecayMu.Unlock()
+	old := preDecayTab.Load()
+	if old != nil && len(*old) > k {
+		return *old
+	}
+	var prev []float64
+	if old != nil {
+		prev = *old
+	} else {
+		prev = []float64{1}
+	}
+	// Copy into a fresh slice: appending in place could republish
+	// memory a concurrent reader is still indexing.
+	next := make([]float64, k+1)
+	copy(next, prev)
+	for i := len(prev); i <= k; i++ {
+		next[i] = next[i-1] * preTraceDecayPerMs
+	}
+	preDecayTab.Store(&next)
+	return next
 }
 
 // NormalizeWeights rescales each excitatory neuron's afferent weights
@@ -192,8 +227,7 @@ func (n *DiehlCook) PreTrace(i int) float64 {
 		return 0
 	}
 	d := n.stepT - 1 - n.preLastSpike[i]
-	n.growDecayPow(d)
-	return n.preDecayPow[d]
+	return preDecayTable(d)[d]
 }
 
 // Step advances the network one timestep given the indices of input
@@ -276,12 +310,12 @@ func (n *DiehlCook) Step(inputSpikes []int, learn bool) []int {
 			}
 		}
 		if len(excSpikes) > 0 {
-			n.growDecayPow(n.stepT)
+			decayPow := preDecayTable(n.stepT)
 			wd, cols := n.W.Data, n.W.Cols
 			nuPost, wmax := cfg.NuPost, cfg.WMax
 			for _, j := range excSpikes {
 				for _, i := range n.preActive {
-					tr := n.preDecayPow[n.stepT-1-n.preLastSpike[i]]
+					tr := decayPow[n.stepT-1-n.preLastSpike[i]]
 					w := wd[i*cols+j] + nuPost*tr
 					if w > wmax {
 						w = wmax

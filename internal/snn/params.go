@@ -1,0 +1,442 @@
+package snn
+
+// Intra-cell parallel inference engine (see DESIGN.md "Intra-cell
+// inference engine").
+//
+// Training mutates a DiehlCook in place and is inherently serial — each
+// presentation's STDP depends on the weights the previous one left
+// behind. The read-only phases are not: the label-assignment pass after
+// training and every Evaluate present images against *frozen*
+// parameters, so images can run concurrently once two things hold:
+//
+//  1. Workers share parameters without sharing mutable state. Params is
+//     the immutable view of a trained network (weights by reference,
+//     effective thresholds and gains by copy); State is the cheap
+//     per-worker scratch (membranes, refractory counters, drive and
+//     spike buffers, a spike-count accumulator).
+//  2. Each image's spike train depends only on the image, not on the
+//     encoder position a serial loop happened to reach. Image i is
+//     encoded from ImageSeed(base, i) — runner.DeriveSeed over the
+//     cell's base seed and the image index — by parallel AND serial
+//     paths alike, which is what makes counts and accuracy
+//     bit-identical at any worker count.
+//
+// Frozen means frozen: a learn=false presentation updates no network
+// parameter at all. In particular the adaptive thresholds theta do not
+// accumulate or decay during inference (they are folded into
+// Params.EffThresh once), matching BindsNET's learning-gated theta
+// update — the previous serial Evaluate let theta drift across
+// evaluation images, coupling image i's result to images < i.
+//
+// States and their encoders are recycled through a package-level
+// sync.Pool across passes and campaign cells, so a full scenario
+// matrix stays allocation-flat in its read-only phases.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"snnfi/internal/encoding"
+	"snnfi/internal/mnist"
+	"snnfi/internal/runner"
+	"snnfi/internal/tensor"
+)
+
+// ImageSeed derives the presentation seed of image i from a cell's
+// base encoder seed. Every presentation site — serial or parallel,
+// training or inference — encodes image i from this seed, so a spike
+// train depends only on (base, i), never on presentation order.
+func ImageSeed(base int64, i int) int64 {
+	return runner.DeriveSeed(base, "image", i)
+}
+
+// GroupParams is the frozen per-layer view: static LIF constants plus
+// the per-neuron effective threshold and input gain with the adaptive
+// threshold and fault hooks folded in.
+type GroupParams struct {
+	N      int
+	Rest   float64
+	Reset  float64
+	Refrac int
+	decay  float64
+
+	// EffThresh[i] = (Thresh + Theta[i]) · ThreshScale[i], the firing
+	// threshold inference compares against (LIFGroup.EffectiveThreshold
+	// at freeze time).
+	EffThresh tensor.Vector
+	// Gain[i] multiplies neuron i's synaptic drive (the driver fault
+	// hook, frozen).
+	Gain tensor.Vector
+
+	// restSafe: no neuron can fire from rest (EffThresh[i] > Rest for
+	// all i), enabling the idle skip in the undriven step — the same
+	// fast path LIFGroup.Step uses, valid for the same reason.
+	restSafe bool
+}
+
+// freezeGroup snapshots a layer.
+func freezeGroup(g *LIFGroup) GroupParams {
+	cfg := g.Cfg
+	gp := GroupParams{
+		N: cfg.N, Rest: cfg.Rest, Reset: cfg.Reset, Refrac: cfg.Refrac,
+		decay:     g.decay,
+		EffThresh: tensor.NewVector(cfg.N),
+		Gain:      g.InputGain.Copy(),
+		restSafe:  true,
+	}
+	for i := 0; i < cfg.N; i++ {
+		gp.EffThresh[i] = g.EffectiveThreshold(i)
+		if gp.EffThresh[i] <= cfg.Rest {
+			gp.restSafe = false
+		}
+	}
+	return gp
+}
+
+// step advances one layer one timestep against per-worker state. It is
+// the learn=false image of LIFGroup.Step with theta and traces frozen:
+// same decay arithmetic, same refractory gating, same reset semantics,
+// with the threshold comparison against the precomputed EffThresh. A
+// nil drive takes the idle fast path (bit-identical to a zero drive).
+func (g *GroupParams) step(v tensor.Vector, refrac []int, drive tensor.Vector, scratch []int) []int {
+	scratch = scratch[:0]
+	rest := g.Rest
+	eff := g.EffThresh[:len(v)]
+
+	if drive != nil {
+		gain := g.Gain[:len(v)]
+		drive = drive[:len(v)]
+		for i := range v {
+			x := rest + (v[i]-rest)*g.decay
+			if refrac[i] > 0 {
+				refrac[i]--
+				v[i] = x
+				continue
+			}
+			x += drive[i] * gain[i]
+			if x >= eff[i] {
+				scratch = append(scratch, i)
+				x = g.Reset
+				refrac[i] = g.Refrac
+			}
+			v[i] = x
+		}
+		return scratch
+	}
+
+	idleSkip := g.restSafe
+	for i := range v {
+		x := v[i]
+		if idleSkip && x == rest && refrac[i] == 0 {
+			continue
+		}
+		if x != rest {
+			x = rest + (x-rest)*g.decay
+		}
+		if refrac[i] > 0 {
+			refrac[i]--
+			v[i] = x
+			continue
+		}
+		if x >= eff[i] {
+			scratch = append(scratch, i)
+			x = g.Reset
+			refrac[i] = g.Refrac
+		}
+		v[i] = x
+	}
+	return scratch
+}
+
+// Params is the immutable, shareable view of a trained DiehlCook
+// network: any number of evaluation workers may present images against
+// one Params concurrently, each with its own State. The weight matrix
+// is shared by reference (inference never writes it); thresholds,
+// gains and the drive scale are copied at freeze time, so reverting a
+// fault plan after training does not retroactively change the view.
+type Params struct {
+	Cfg DiehlCookConfig
+
+	// W is the trained input→exc weight matrix, shared read-only.
+	W *tensor.Matrix
+
+	// InputDriveScale is the frozen global driver corruption knob.
+	InputDriveScale float64
+
+	Exc GroupParams
+	Inh GroupParams
+}
+
+// Params freezes the network's current parameters into a shareable
+// inference view. The caller must not mutate the network's weights
+// while the view is in use (layer hooks and theta may change freely —
+// they were copied).
+func (n *DiehlCook) Params() *Params {
+	return &Params{
+		Cfg:             n.Cfg,
+		W:               n.W,
+		InputDriveScale: n.InputDriveScale,
+		Exc:             freezeGroup(n.Exc),
+		Inh:             freezeGroup(n.Inh),
+	}
+}
+
+// State is one evaluation worker's mutable scratch: everything a
+// presentation touches that is not a parameter. States are cheap
+// (a few vectors over the layer sizes), fully reset per image, and
+// recycled through the package workspace pool.
+type State struct {
+	vExc, vInh           tensor.Vector
+	refracExc, refracInh []int
+	driveExc, driveInh   tensor.Vector
+	prevExc, prevInh     []int
+	spikeExc, spikeInh   []int
+	counts               tensor.Vector
+	enc                  *encoding.PoissonEncoder
+}
+
+// NewState allocates a worker state sized for p. Most callers should
+// use the pooled acquire/release pair instead; NewState is the
+// always-fresh path (and what the pool falls back to).
+func (p *Params) NewState() *State {
+	st := &State{enc: encoding.NewPoissonEncoder(0)}
+	st.fit(p)
+	return st
+}
+
+// fit (re)sizes the state for p, reusing slice capacity from previous
+// configurations so pooled states migrate between cells without
+// reallocating.
+func (st *State) fit(p *Params) {
+	st.vExc = resizeVec(st.vExc, p.Exc.N)
+	st.vInh = resizeVec(st.vInh, p.Inh.N)
+	st.driveExc = resizeVec(st.driveExc, p.Exc.N)
+	st.driveInh = resizeVec(st.driveInh, p.Inh.N)
+	st.counts = resizeVec(st.counts, p.Exc.N)
+	st.refracExc = resizeInts(st.refracExc, p.Exc.N)
+	st.refracInh = resizeInts(st.refracInh, p.Inh.N)
+	if st.enc == nil {
+		st.enc = encoding.NewPoissonEncoder(0)
+	}
+}
+
+func resizeVec(v tensor.Vector, n int) tensor.Vector {
+	if cap(v) < n {
+		return tensor.NewVector(n)
+	}
+	return v[:n]
+}
+
+func resizeInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// reset clears all per-image dynamics, leaving no trace of whatever
+// presentation — against whatever network — the state last served.
+func (st *State) reset(p *Params) {
+	st.vExc.Fill(p.Exc.Rest)
+	st.vInh.Fill(p.Inh.Rest)
+	for i := range st.refracExc {
+		st.refracExc[i] = 0
+	}
+	for i := range st.refracInh {
+		st.refracInh[i] = 0
+	}
+	st.prevExc = st.prevExc[:0]
+	st.prevInh = st.prevInh[:0]
+}
+
+// workspacePool recycles States (with their embedded encoder
+// workspaces) across evaluation passes and campaign cells. sync.Pool
+// may drop entries under GC pressure — correctness never depends on a
+// hit, only allocation volume does.
+var workspacePool sync.Pool
+
+// acquireState returns a ready state for p with its encoder configured
+// (maxRate/dt of 0 select the encoder defaults, 128 Hz / 1 ms).
+func acquireState(p *Params, maxRate, dt float64) *State {
+	st, _ := workspacePool.Get().(*State)
+	if st == nil {
+		st = p.NewState()
+	} else {
+		st.fit(p)
+	}
+	if maxRate == 0 {
+		maxRate = 128
+	}
+	if dt == 0 {
+		dt = 1
+	}
+	st.enc.MaxRate, st.enc.Dt = maxRate, dt
+	return st
+}
+
+func releaseState(st *State) { workspacePool.Put(st) }
+
+// step advances the frozen network one timestep: feedforward drive
+// plus delayed lateral inhibition onto the excitatory layer, delayed
+// one-to-one excitation onto the inhibitory layer — the exact
+// DiehlCook.Step dataflow minus plasticity and adaptation.
+func (p *Params) step(st *State, inputSpikes []int) []int {
+	if s := p.InputDriveScale; s != 1 {
+		p.W.SumRowsScaled(inputSpikes, s, st.driveExc)
+	} else {
+		p.W.SumRows(inputSpikes, st.driveExc)
+	}
+	if k := len(st.prevInh); k > 0 {
+		sub := float64(k) * p.Cfg.WInhExc
+		d := st.driveExc
+		for i := range d {
+			d[i] -= sub
+		}
+		for _, j := range st.prevInh {
+			d[j] += p.Cfg.WInhExc
+		}
+	}
+	st.spikeExc = p.Exc.step(st.vExc, st.refracExc, st.driveExc, st.spikeExc)
+
+	if len(st.prevExc) > 0 {
+		st.driveInh.Zero()
+		for _, j := range st.prevExc {
+			st.driveInh[j] += p.Cfg.WExcInh
+		}
+		st.spikeInh = p.Inh.step(st.vInh, st.refracInh, st.driveInh, st.spikeInh)
+	} else {
+		st.spikeInh = p.Inh.step(st.vInh, st.refracInh, nil, st.spikeInh)
+	}
+
+	st.prevExc = append(st.prevExc[:0], st.spikeExc...)
+	st.prevInh = append(st.prevInh[:0], st.spikeInh...)
+	return st.spikeExc
+}
+
+// presentImage runs one full presentation (Steps driven + RestSteps
+// quiet) of img under seed and returns st.counts, the per-neuron
+// excitatory spike counts. The returned vector is st's accumulator —
+// copy it to retain past the next presentation. Steady-state the call
+// allocates nothing.
+func (p *Params) presentImage(st *State, img *mnist.Image, seed int64) tensor.Vector {
+	st.reset(p)
+	st.enc.Reseed(seed)
+	st.enc.Begin(img)
+	st.counts.Zero()
+	for t := 0; t < p.Cfg.Steps; t++ {
+		for _, j := range p.step(st, st.enc.EncodeStep()) {
+			st.counts[j]++
+		}
+	}
+	for t := 0; t < p.Cfg.RestSteps; t++ {
+		for _, j := range p.step(st, nil) {
+			st.counts[j]++
+		}
+	}
+	return st.counts
+}
+
+// EvalOptions configures a read-only presentation pass.
+type EvalOptions struct {
+	// Workers is the evaluation pool width; ≤0 uses all CPUs. Results
+	// are bit-identical at every width.
+	Workers int
+	// Seed is the cell's base encoder seed; image i is presented from
+	// ImageSeed(Seed, i).
+	Seed int64
+	// MaxRate and Dt configure the Poisson encoding; zero values select
+	// the experiment defaults (128 Hz, 1 ms).
+	MaxRate float64
+	Dt      float64
+}
+
+// evalShard is how many consecutive images one pool job presents. The
+// shard size trades scheduling overhead against load balance; it does
+// not affect results (each image is independently seeded).
+const evalShard = 8
+
+// shardJobs builds one runner job per contiguous image shard. run is
+// called with a ready workspace, an image index and that image's
+// presentation seed, and returns the image's contribution to the
+// shard result. Seeds are derived once up front — DeriveSeed reflects
+// over its discriminators, and hoisting it keeps the per-image loop
+// allocation-free.
+func shardJobs[T any](p *Params, images []mnist.Image, opt EvalOptions, run func(st *State, i int, seed int64) T) []runner.Job[[]T] {
+	seeds := make([]int64, len(images))
+	for i := range seeds {
+		seeds[i] = ImageSeed(opt.Seed, i)
+	}
+	jobs := make([]runner.Job[[]T], 0, (len(images)+evalShard-1)/evalShard)
+	for lo := 0; lo < len(images); lo += evalShard {
+		lo, hi := lo, min(lo+evalShard, len(images))
+		jobs = append(jobs, runner.Job[[]T]{
+			Label: fmt.Sprintf("images[%d:%d]", lo, hi),
+			Run: func() ([]T, error) {
+				st := acquireState(p, opt.MaxRate, opt.Dt)
+				defer releaseState(st)
+				out := make([]T, hi-lo)
+				for i := lo; i < hi; i++ {
+					out[i-lo] = run(st, i, seeds[i])
+				}
+				return out, nil
+			},
+		})
+	}
+	return jobs
+}
+
+// runShards executes the shard jobs and flattens results back into
+// image order.
+func runShards[T any](workers int, jobs []runner.Job[[]T], total int) ([]T, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	pool := &runner.Pool[[]T]{Workers: workers}
+	shards, err := pool.Run(jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]T, 0, total)
+	for _, s := range shards {
+		out = append(out, s...)
+	}
+	return out, nil
+}
+
+// CountsParallel presents every image read-only against p and returns
+// the per-image excitatory spike counts, in image order — the parallel
+// label-assignment kernel. Counts are bit-identical at any worker
+// count (and to the serial path, which is the same kernel at width 1).
+func CountsParallel(p *Params, images []mnist.Image, opt EvalOptions) ([]tensor.Vector, error) {
+	jobs := shardJobs(p, images, opt, func(st *State, i int, seed int64) tensor.Vector {
+		return p.presentImage(st, &images[i], seed).Copy()
+	})
+	return runShards(opt.Workers, jobs, len(images))
+}
+
+// EvaluateParallel presents every image read-only against p, classifies
+// each with the given neuron→class assignments, and returns the
+// fraction classified correctly. Unlike CountsParallel it keeps no
+// per-image counts, so a full evaluation pass is allocation-flat.
+func EvaluateParallel(p *Params, images []mnist.Image, assignments []int, opt EvalOptions) (float64, error) {
+	if len(images) == 0 {
+		return 0, fmt.Errorf("snn: no evaluation images")
+	}
+	jobs := shardJobs(p, images, opt, func(st *State, i int, seed int64) int {
+		counts := p.presentImage(st, &images[i], seed)
+		if Classify(counts, assignments) == int(images[i].Label) {
+			return 1
+		}
+		return 0
+	})
+	correct, err := runShards(opt.Workers, jobs, len(images))
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, c := range correct {
+		total += c
+	}
+	return float64(total) / float64(len(images)), nil
+}

@@ -8,15 +8,39 @@ import (
 	"snnfi/internal/tensor"
 )
 
+// ProtocolVersion names the training/evaluation semantics trained
+// results depend on, and belongs in every cache key that stores them
+// (core experiment fingerprints, cmd/snn-train's result cache). Bump
+// it whenever a change alters what a trained result contains — v2 is
+// the intra-cell engine's per-image seeding and frozen-network
+// assignment pass — so stale caches miss instead of serving values
+// computed under older semantics.
+const ProtocolVersion = "train-protocol-v2"
+
 // TrainResult summarizes a training run: per-neuron class assignments,
 // classification accuracy over the presented images, and activity
-// statistics useful for diagnosing attacks.
+// statistics useful for diagnosing attacks. PerImage, TotalSpikes,
+// Assignments and Accuracy all come from the read-only assignment pass
+// over the frozen trained network (see TrainWith).
 type TrainResult struct {
 	Assignments []int   // neuron → class (−1 for never-active neurons)
 	Accuracy    float64 // fraction of images classified correctly
-	TotalSpikes float64 // total excitatory spikes over the run
+	TotalSpikes float64 // total excitatory spikes over the assignment pass
 	PerImage    []tensor.Vector
 	Labels      []uint8
+}
+
+// TrainOptions configures TrainWith beyond its data arguments.
+type TrainOptions struct {
+	// BeforeImage, when non-nil, runs before image i is encoded and
+	// presented in the learning pass. Fault-injection campaigns use it
+	// to corrupt network parameters mid-training (e.g. re-applying
+	// synaptic drift every N images) without duplicating the
+	// training/labeling/scoring loop.
+	BeforeImage func(i int)
+	// Workers sizes the read-only assignment pass; ≤0 uses all CPUs.
+	// Results are bit-identical at every width.
+	Workers int
 }
 
 // Train presents the images once (the paper iterates training samples
@@ -26,36 +50,58 @@ type TrainResult struct {
 // protocol: "all experiments are conducted on 1000 Poisson-encoded
 // training images", with accuracy measured on those images.
 func Train(n *DiehlCook, images []mnist.Image, enc *encoding.PoissonEncoder) (*TrainResult, error) {
-	return TrainObserved(n, images, enc, nil)
+	return TrainWith(n, images, enc, TrainOptions{})
 }
 
-// TrainObserved is Train with a per-presentation hook: beforeImage,
-// when non-nil, runs before image i is encoded and presented.
-// Fault-injection campaigns use it to corrupt network parameters
-// mid-training (e.g. re-applying synaptic drift every N images)
-// without duplicating the training/labeling/scoring loop.
-func TrainObserved(n *DiehlCook, images []mnist.Image, enc *encoding.PoissonEncoder, beforeImage func(i int)) (*TrainResult, error) {
+// TrainWith runs the two-pass protocol of the intra-cell engine:
+//
+//  1. Learning pass, serial (STDP is order-dependent): each image is
+//     presented with plasticity on, encoded from its per-image seed
+//     ImageSeed(enc.Seed(), i).
+//  2. Assignment pass, parallel: the same images are re-presented from
+//     the same per-image seeds against the frozen trained parameters
+//     (learn=false, theta folded into the effective thresholds), on
+//     opt.Workers evaluation workers. The resulting counts drive
+//     labeling and scoring, so the reported accuracy is a property of
+//     the finished network rather than of its mid-training trajectory.
+//
+// The encoder supplies the base seed and rate configuration; its base
+// seed is restored on return (the per-image reseeding is internal), so
+// a subsequent Evaluate with the same encoder derives its presentation
+// seeds from the original base.
+func TrainWith(n *DiehlCook, images []mnist.Image, enc *encoding.PoissonEncoder, opt TrainOptions) (*TrainResult, error) {
 	if len(images) == 0 {
 		return nil, fmt.Errorf("snn: no training images")
 	}
+	base := enc.Seed()
+	defer enc.Reseed(base)
+	for i := range images {
+		if opt.BeforeImage != nil {
+			opt.BeforeImage(i)
+		}
+		enc.Reseed(ImageSeed(base, i))
+		enc.Begin(&images[i])
+		n.RunImageStream(enc.EncodeStep, true)
+	}
+
+	counts, err := CountsParallel(n.Params(), images, EvalOptions{
+		Workers: opt.Workers, Seed: base, MaxRate: enc.MaxRate, Dt: enc.Dt,
+	})
+	if err != nil {
+		return nil, err
+	}
 	res := &TrainResult{
-		PerImage: make([]tensor.Vector, 0, len(images)),
+		PerImage: counts,
 		Labels:   make([]uint8, 0, len(images)),
 	}
 	for i := range images {
-		if beforeImage != nil {
-			beforeImage(i)
-		}
-		enc.Begin(&images[i])
-		counts := n.RunImageStream(enc.EncodeStep, true)
-		res.TotalSpikes += counts.Sum()
-		res.PerImage = append(res.PerImage, counts)
 		res.Labels = append(res.Labels, images[i].Label)
+		res.TotalSpikes += counts[i].Sum()
 	}
 	res.Assignments = AssignLabels(res.PerImage, res.Labels, n.Cfg.NExc)
 	correct := 0
-	for i, counts := range res.PerImage {
-		if Classify(counts, res.Assignments) == int(res.Labels[i]) {
+	for i, c := range counts {
+		if Classify(c, res.Assignments) == int(res.Labels[i]) {
 			correct++
 		}
 	}
@@ -64,20 +110,14 @@ func TrainObserved(n *DiehlCook, images []mnist.Image, enc *encoding.PoissonEnco
 }
 
 // Evaluate presents images without learning and scores them against
-// existing assignments.
+// existing assignments. It is the serial entry point of the inference
+// engine — the same kernel and per-image seeding as EvaluateParallel
+// at width 1, so its result is bit-identical to any parallel run with
+// the same base seed.
 func Evaluate(n *DiehlCook, images []mnist.Image, enc *encoding.PoissonEncoder, assignments []int) (float64, error) {
-	if len(images) == 0 {
-		return 0, fmt.Errorf("snn: no evaluation images")
-	}
-	correct := 0
-	for i := range images {
-		enc.Begin(&images[i])
-		counts := n.RunImageStream(enc.EncodeStep, false)
-		if Classify(counts, assignments) == int(images[i].Label) {
-			correct++
-		}
-	}
-	return float64(correct) / float64(len(images)), nil
+	return EvaluateParallel(n.Params(), images, assignments, EvalOptions{
+		Workers: 1, Seed: enc.Seed(), MaxRate: enc.MaxRate, Dt: enc.Dt,
+	})
 }
 
 // AssignLabels implements Diehl&Cook "all activity" neuron labeling:

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# bench.sh — run the tier benchmarks and emit a machine-readable bench
+# record (BENCH_PR5.json by default). The checked-in copy pins the
+# numbers measured when the intra-cell engine landed; CI regenerates
+# the file on every push and uploads it as an artifact, so the bench
+# trajectory is recorded per-commit without gating merges on timing.
+#
+# Usage: scripts/bench.sh [OUT.json]
+#   BENCHTIME=1s    override -benchtime (default 2x: cheap but real)
+#   BENCH_PATTERN=… override the bench selection regexp
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_PR5.json}"
+benchtime="${BENCHTIME:-2x}"
+pattern="${BENCH_PATTERN:-BenchmarkEvaluate|BenchmarkCountsParallel|BenchmarkStep_|BenchmarkTrainImageStream|BenchmarkEncode_|BenchmarkSpiceTransientStep|BenchmarkCharacterize_AHThresholdVsVDD}"
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+go test -run='^$' -bench="$pattern" -benchtime="$benchtime" . | tee "$raw" >&2
+
+{
+  printf '{\n'
+  printf '  "suite": "snnfi tier benches",\n'
+  printf '  "go": "%s",\n' "$(go env GOVERSION)"
+  printf '  "cpus": %s,\n' "$(nproc)"
+  printf '  "benchtime": "%s",\n' "$benchtime"
+  printf '  "benches": [\n'
+  awk '
+    /^Benchmark/ {
+      entry = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", $1, $2, $3)
+      for (i = 5; i + 1 <= NF; i += 2)
+        entry = entry sprintf(", \"%s\": %s", $(i + 1), $i)
+      entry = entry "}"
+      if (n++) printf(",\n")
+      printf("%s", entry)
+    }
+    END { printf("\n") }
+  ' "$raw"
+  printf '  ]\n'
+  printf '}\n'
+} > "$out"
+echo "wrote $out" >&2

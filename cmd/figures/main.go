@@ -27,7 +27,9 @@ import (
 
 	"snnfi/internal/core"
 	"snnfi/internal/defense"
+	"snnfi/internal/diag"
 	"snnfi/internal/neuron"
+	"snnfi/internal/obs"
 	"snnfi/internal/power"
 	"snnfi/internal/runner"
 	"snnfi/internal/snn"
@@ -45,13 +47,25 @@ func main() {
 		jsonl    = flag.String("jsonl", "", "optional JSONL file streaming every sweep point")
 		progress = flag.Bool("progress", false, "log each completed sweep cell to stderr")
 		cacheDir = flag.String("cache-dir", "", "optional directory persisting trained/measured results, so a killed run resumes with only the missing cells recomputed")
+		report   = flag.String("report", "", "write the end-of-run campaign report (JSON) to this file")
+		quiet    = flag.Bool("quiet", false, "suppress the live progress line and the stderr report summary")
 	)
+	prof := diag.AddFlags()
 	flag.Parse()
+	stopProf, err := prof.Start()
+	if err != nil {
+		fatal(err)
+	}
 
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		fatal(err)
 	}
 	r := &figRunner{nImages: *nImages, dataDir: *dataDir, outDir: *outDir, workers: *workers, cacheDir: *cacheDir}
+	// One registry spans both tiers: circuit sweeps and spice solves
+	// record into it immediately; the network experiment adopts it when
+	// lazily built (see experiment()).
+	r.reg = obs.NewRegistry()
+	spice.Instrument(r.reg)
 	if *progress {
 		r.progress = func(p runner.Progress) {
 			note := ""
@@ -61,6 +75,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "  [%d/%d] %s%s\n", p.Done, p.Total, p.Label, note)
 		}
 	}
+	// The live status line shares stderr with -progress logging; enable
+	// it only when neither explicit logging nor -quiet is in effect
+	// (and only on a terminal).
+	line := runner.NewProgressLine(os.Stderr, !*progress && !*quiet)
+	r.progress = runner.ChainProgress(r.progress, line.Observe)
 	var sink *runner.JSONLSink
 	if *jsonl != "" {
 		f, err := os.Create(*jsonl)
@@ -78,6 +97,7 @@ func main() {
 	r.char.Workers = r.workers
 	r.char.OnProgress = r.progress
 	r.char.Sinks = r.sinks
+	r.char.Obs = r.reg
 	if *cacheDir != "" {
 		// Circuit measurements persist beside the network results
 		// (separate subdirectory, same lifecycle): repeated figure runs
@@ -86,6 +106,8 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		disk.Instrument(r.reg, "cache.circuit")
+		disk.OnFirstWriteError = warnWriteError("circuit")
 		r.char.Cache = runner.NewTiered[float64](r.char.Cache, disk)
 		r.circuitDisk = disk
 	}
@@ -101,13 +123,30 @@ func main() {
 			want[strings.TrimSpace(id)] = true
 		}
 	}
-	err := runExperiments(r, all, want)
+	err = runExperiments(r, all, want)
+	line.Finish()
 	if sink != nil {
 		// Close even when an experiment failed, so records streamed by
 		// the sweeps that did complete reach disk.
 		if cerr := sink.Close(); err == nil {
 			err = cerr
 		}
+	}
+	if r.mon != nil {
+		rep := r.mon.Report()
+		if *report != "" {
+			if werr := rep.WriteFile(*report); err == nil {
+				err = werr
+			}
+		}
+		if !*quiet {
+			rep.Summarize(os.Stderr)
+		}
+	} else if *report != "" {
+		fmt.Fprintln(os.Stderr, "figures: no network campaign ran; -report not written")
+	}
+	if perr := stopProf(); err == nil {
+		err = perr
 	}
 	// A campaign whose results failed to persist is not resumable —
 	// say so instead of exiting 0.
@@ -140,6 +179,14 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
+// warnWriteError builds a DiskCache.OnFirstWriteError callback: one
+// line, on the first failure only, the moment resumability degrades.
+func warnWriteError(tier string) func(error) {
+	return func(err error) {
+		fmt.Fprintf(os.Stderr, "figures: warning: %s results are no longer being persisted: %v\n", tier, err)
+	}
+}
+
 type figRunner struct {
 	nImages  int
 	dataDir  string
@@ -155,6 +202,9 @@ type figRunner struct {
 	circuitDisk *runner.DiskCache[float64]
 	networkDisk *runner.DiskCache[*core.Result]
 
+	reg *obs.Registry // shared telemetry registry, both tiers
+	mon *core.Monitor // attached when the network experiment is built
+
 	exp *core.Experiment // lazily built, shared across network experiments
 }
 
@@ -169,11 +219,18 @@ func (r *figRunner) experiment() (*core.Experiment, error) {
 	e.Workers = r.workers
 	e.OnProgress = r.progress
 	e.Sinks = r.sinks
+	e.Obs = r.reg
+	r.mon = core.NewMonitor(e, "figures")
+	if mem, ok := e.Cache.(*runner.MemoryCache[*core.Result]); ok {
+		mem.Instrument(r.reg, "cache.network.mem")
+	}
 	if r.cacheDir != "" {
 		disk, err := runner.NewDiskCache[*core.Result](filepath.Join(r.cacheDir, "network"))
 		if err != nil {
 			return nil, err
 		}
+		disk.Instrument(r.reg, "cache.network")
+		disk.OnFirstWriteError = warnWriteError("network")
 		e.Cache = runner.NewTiered[*core.Result](e.Cache, disk)
 		r.networkDisk = disk
 	}

@@ -31,8 +31,10 @@ import (
 
 	"snnfi/internal/core"
 	"snnfi/internal/defense"
+	"snnfi/internal/diag"
 	"snnfi/internal/runner"
 	"snnfi/internal/snn"
+	"snnfi/internal/spice"
 	"snnfi/internal/xfer"
 )
 
@@ -58,8 +60,20 @@ func run() (retErr error) {
 		jsonl    = flag.String("jsonl", "", "optional JSONL file recording every cell")
 		cacheDir = flag.String("cache-dir", "", "optional directory persisting trained results across runs")
 		audit    = flag.Bool("audit", false, "report which cells -cache-dir already holds, without training anything")
+		report   = flag.String("report", "", "write the end-of-run campaign report (JSON) to this file")
+		quiet    = flag.Bool("quiet", false, "suppress the live progress line and the stderr report summary")
 	)
+	prof := diag.AddFlags()
 	flag.Parse()
+	stopProf, err := prof.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProf(); retErr == nil {
+			retErr = err
+		}
+	}()
 	if *audit && *cacheDir == "" {
 		return fmt.Errorf("-audit needs -cache-dir to inspect")
 	}
@@ -98,14 +112,35 @@ func run() (retErr error) {
 		return err
 	}
 	exp.Workers = *workers
+
+	// Telemetry: the monitor installs the registry and counts cells;
+	// instrument the memory tier before it disappears inside Tiered,
+	// then the disk tier, then the circuit solver. None of this changes
+	// what the campaign computes (see core's byte-identity test).
+	mon := core.NewMonitor(exp, fmt.Sprintf("attack%d", *attack))
+	if mem, ok := exp.Cache.(*runner.MemoryCache[*core.Result]); ok {
+		mem.Instrument(mon.Registry(), "cache.fast")
+	}
+	spice.Instrument(mon.Registry())
+
 	var disk *runner.DiskCache[*core.Result]
 	if *cacheDir != "" {
 		disk, err = runner.NewDiskCache[*core.Result](*cacheDir)
 		if err != nil {
 			return err
 		}
+		disk.Instrument(mon.Registry(), "cache.slow")
+		disk.OnFirstWriteError = func(err error) {
+			fmt.Fprintf(os.Stderr, "snn-attack: warning: results are no longer being persisted to %s: %v\n", *cacheDir, err)
+		}
 		exp.Cache = runner.NewTiered[*core.Result](exp.Cache, disk)
 	}
+
+	// Live progress: a \r-redrawn status line on stderr, only when
+	// stderr is a terminal and -quiet is off.
+	line := runner.NewProgressLine(os.Stderr, !*quiet)
+	defer line.Finish()
+	exp.OnProgress = runner.ChainProgress(exp.OnProgress, line.Observe)
 	if *audit {
 		keys, err := disk.Manifest()
 		if err != nil {
@@ -164,6 +199,17 @@ func run() (retErr error) {
 	// The count the disk cache exists to drive to zero: a repeated
 	// invocation against a warm -cache-dir must print 0.
 	fmt.Printf("trained networks: %d\n", exp.TrainCount())
+
+	line.Finish()
+	rep := mon.Report()
+	if *report != "" {
+		if err := rep.WriteFile(*report); err != nil {
+			return err
+		}
+	}
+	if !*quiet {
+		rep.Summarize(os.Stderr)
+	}
 	if disk != nil {
 		return disk.Err()
 	}

@@ -19,7 +19,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"snnfi/internal/diag"
 	"snnfi/internal/encoding"
 	"snnfi/internal/mnist"
 	"snnfi/internal/runner"
@@ -33,7 +35,7 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (retErr error) {
 	var (
 		nImages  = flag.Int("n", 1000, "training images")
 		dataDir  = flag.String("data", "", "optional real-MNIST directory (IDX files)")
@@ -42,8 +44,19 @@ func run() error {
 		seed     = flag.Int64("seed", 1, "weight-initialization seed")
 		workers  = flag.Int("workers", 0, "assignment-pass worker-pool size (0 = all CPUs)")
 		cacheDir = flag.String("cache-dir", "", "optional directory persisting the trained result across runs")
+		quiet    = flag.Bool("quiet", false, "suppress the live progress line")
 	)
+	prof := diag.AddFlags()
 	flag.Parse()
+	stopProf, err := prof.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProf(); retErr == nil {
+			retErr = err
+		}
+	}()
 
 	images, err := mnist.Load(*dataDir, *nImages, 7)
 	if err != nil {
@@ -75,7 +88,21 @@ func run() error {
 			return err
 		}
 		enc := encoding.NewPoissonEncoder(encSeed)
-		res, err = snn.TrainWith(net, images, enc, snn.TrainOptions{Workers: *workers})
+		// The live line treats each learning-pass image as one unit of
+		// progress (STDP is serial: Index tracks Done, never a hit).
+		line := runner.NewProgressLine(os.Stderr, !*quiet)
+		start := time.Now()
+		opt := snn.TrainOptions{Workers: *workers}
+		if line != nil {
+			opt.OnProgress = func(done, total int) {
+				line.Observe(runner.Progress{
+					Done: done, Total: total, Index: done - 1,
+					Label: "stdp", Elapsed: time.Since(start),
+				})
+			}
+		}
+		res, err = snn.TrainWith(net, images, enc, opt)
+		line.Finish()
 		if err != nil {
 			return err
 		}

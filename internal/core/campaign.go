@@ -8,6 +8,7 @@ import (
 
 	"snnfi/internal/encoding"
 	"snnfi/internal/mnist"
+	"snnfi/internal/obs"
 	"snnfi/internal/runner"
 	"snnfi/internal/snn"
 	"snnfi/internal/xfer"
@@ -51,6 +52,12 @@ type Experiment struct {
 	// Experiments over the same data may share a cache safely because
 	// keys cover the full experiment fingerprint.
 	Cache runner.Cache[*Result]
+	// Obs, when non-nil, receives campaign telemetry: the sweep pool's
+	// "core.cells.*" metrics, each cell's training spans ("snn.stdp",
+	// "snn.assign") and the intra-cell evaluation pool's "snn.eval.*".
+	// Purely observational — results and streamed records are
+	// byte-identical with or without a registry (see report_test.go).
+	Obs *obs.Registry
 
 	baseMu  sync.Mutex
 	baseRes *Result
@@ -125,7 +132,7 @@ func (e *Experiment) train(plan *FaultPlan, evalWorkers int) (*snn.TrainResult, 
 		defer revert()
 	}
 	enc := encoding.NewPoissonEncoder(e.EncSeed)
-	return snn.TrainWith(n, e.Images, enc, snn.TrainOptions{Workers: evalWorkers})
+	return snn.TrainWith(n, e.Images, enc, snn.TrainOptions{Workers: evalWorkers, Obs: e.Obs})
 }
 
 // TrainCount reports how many networks the experiment has trained so
@@ -348,6 +355,8 @@ func (e *Experiment) runCampaign(meta campaignMeta, cells []campaignJob) ([]Swee
 		Workers:    e.Workers,
 		Cache:      e.Cache,
 		OnProgress: e.OnProgress,
+		Obs:        e.Obs,
+		Name:       "core.cells",
 	}
 	if len(e.Sinks) > 0 {
 		pool.OnResult = func(i int, r *Result, _ bool) error {

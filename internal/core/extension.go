@@ -93,6 +93,7 @@ func (s WeightFaultSpec) cell(e *Experiment) campaignJob {
 			enc := encoding.NewPoissonEncoder(e.EncSeed)
 			return snn.TrainWith(n, e.Images, enc, snn.TrainOptions{
 				Workers: evalWorkers,
+				Obs:     e.Obs,
 				BeforeImage: func(i int) {
 					if i == 0 || (s.EveryNImages > 0 && i%s.EveryNImages == 0) {
 						s.apply(n, rng)
@@ -202,7 +203,7 @@ func (s LearningRateFaultSpec) cell(e *Experiment) campaignJob {
 				return nil, err
 			}
 			enc := encoding.NewPoissonEncoder(e.EncSeed)
-			return snn.TrainWith(n, e.Images, enc, snn.TrainOptions{Workers: evalWorkers})
+			return snn.TrainWith(n, e.Images, enc, snn.TrainOptions{Workers: evalWorkers, Obs: e.Obs})
 		},
 	}
 }

@@ -3,6 +3,7 @@ package neuron
 import (
 	"fmt"
 
+	"snnfi/internal/obs"
 	"snnfi/internal/runner"
 )
 
@@ -38,6 +39,10 @@ type Characterizer struct {
 	// Sinks receive one record per point, streamed in sweep order
 	// regardless of worker count.
 	Sinks []runner.Sink
+	// Obs, when non-nil, receives the sweep pool's telemetry under
+	// "neuron.sweep.*" (per-point run/wait histograms, job and hit
+	// counters). Observation only; sweep output is unaffected.
+	Obs *obs.Registry
 }
 
 // NewCharacterizer returns a pool-wide Characterizer with a fresh
@@ -85,6 +90,8 @@ func (ch *Characterizer) sweep(name string, pts []charPoint) ([]Point, error) {
 		Workers:    ch.Workers,
 		Cache:      ch.Cache,
 		OnProgress: ch.OnProgress,
+		Obs:        ch.Obs,
+		Name:       "neuron.sweep",
 	}
 	if len(ch.Sinks) > 0 {
 		pool.OnResult = func(i int, y float64, _ bool) error {

@@ -7,6 +7,8 @@ import (
 	"hash/fnv"
 	"reflect"
 	"sync"
+
+	"snnfi/internal/obs"
 )
 
 // Cache memoizes job results by content-address. Implementations must
@@ -21,10 +23,15 @@ type Cache[T any] interface {
 // and drops every Put), so callers can pass caches around without
 // nil-guarding.
 type MemoryCache[T any] struct {
-	mu     sync.Mutex
-	m      map[string]T
-	hits   int64
-	misses int64
+	mu sync.Mutex
+	m  map[string]T
+
+	// Accounting lives in obs counters so Instrument can publish the
+	// very same atomics into a telemetry registry — Stats() stays a
+	// thin reader and can never disagree with the exported values.
+	hits   obs.Counter
+	misses obs.Counter
+	puts   obs.Counter
 }
 
 // NewMemoryCache returns an empty cache.
@@ -39,13 +46,13 @@ func (c *MemoryCache[T]) Get(key string) (T, bool) {
 		return zero, false
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	v, ok := c.m[key]
+	c.mu.Unlock()
 	if ok {
-		c.hits++
+		c.hits.Inc()
 		return v, true
 	}
-	c.misses++
+	c.misses.Inc()
 	return zero, false
 }
 
@@ -54,6 +61,7 @@ func (c *MemoryCache[T]) Put(key string, v T) {
 	if c == nil {
 		return
 	}
+	c.puts.Inc()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.m == nil {
@@ -77,9 +85,29 @@ func (c *MemoryCache[T]) Stats() (hits, misses int64) {
 	if c == nil {
 		return 0, 0
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
+	return c.hits.Value(), c.misses.Value()
+}
+
+// Puts reports how many values have been stored since creation
+// (including Tiered promotions into this tier).
+func (c *MemoryCache[T]) Puts() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.puts.Value()
+}
+
+// Instrument publishes the cache's counters into r under
+// "<name>.hits", "<name>.misses" and "<name>.puts". The registered
+// counters are the cache's own accounting atomics, so the registry
+// and Stats always agree. Nil receiver or registry is a no-op.
+func (c *MemoryCache[T]) Instrument(r *obs.Registry, name string) {
+	if c == nil {
+		return
+	}
+	r.RegisterCounter(name+".hits", &c.hits)
+	r.RegisterCounter(name+".misses", &c.misses)
+	r.RegisterCounter(name+".puts", &c.puts)
 }
 
 // KeyOf content-addresses a job specification: it hashes an

@@ -9,6 +9,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"snnfi/internal/obs"
 )
 
 // DiskCache is a Cache backed by one JSON file per key, so results
@@ -28,10 +30,23 @@ import (
 type DiskCache[T any] struct {
 	dir string
 
-	mu     sync.Mutex
-	hits   int64
-	misses int64
-	err    error
+	// OnFirstWriteError, when non-nil, is called exactly once — on the
+	// first persistence failure — so a long campaign can warn the user
+	// the moment resumability degrades instead of at exit. Set it
+	// before the cache is used concurrently; Err still reports the
+	// error at the end either way.
+	OnFirstWriteError func(error)
+
+	// Accounting lives in obs counters (see MemoryCache): Instrument
+	// publishes these same atomics, Stats reads them.
+	hits      obs.Counter
+	misses    obs.Counter
+	puts      obs.Counter
+	corrupt   obs.Counter
+	writeErrs obs.Counter
+
+	mu  sync.Mutex
+	err error
 }
 
 // NewDiskCache opens (creating if needed) a cache directory.
@@ -62,19 +77,28 @@ func (c *DiskCache[T]) path(key string) string {
 	return filepath.Join(c.dir, key+".json")
 }
 
-// Get loads the entry for key, if a well-formed one exists.
+// Get loads the entry for key, if a well-formed one exists. A corrupt
+// entry (the file read fine but did not decode) counts as both a
+// corruption and a miss — hits+misses stays the lookup count while
+// the corrupt counter flags the damage.
 func (c *DiskCache[T]) Get(key string) (T, bool) {
 	var v T
 	if c == nil {
 		return v, false
 	}
 	data, err := os.ReadFile(c.path(key))
-	if err != nil || json.Unmarshal(data, &v) != nil {
+	if err != nil {
 		var zero T
-		c.count(&c.misses)
+		c.misses.Inc()
 		return zero, false
 	}
-	c.count(&c.hits)
+	if json.Unmarshal(data, &v) != nil {
+		var zero T
+		c.corrupt.Inc()
+		c.misses.Inc()
+		return zero, false
+	}
+	c.hits.Inc()
 	return v, true
 }
 
@@ -86,6 +110,7 @@ func (c *DiskCache[T]) Put(key string, v T) {
 	if c == nil {
 		return
 	}
+	c.puts.Inc()
 	data, err := json.Marshal(v)
 	if err != nil {
 		c.setErr(err)
@@ -154,23 +179,62 @@ func (c *DiskCache[T]) Stats() (hits, misses int64) {
 	if c == nil {
 		return 0, 0
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
+	return c.hits.Value(), c.misses.Value()
 }
 
-func (c *DiskCache[T]) count(field *int64) {
-	c.mu.Lock()
-	*field++
-	c.mu.Unlock()
+// Corrupt reports how many lookups found an entry file that failed to
+// decode (each also counted as a miss).
+func (c *DiskCache[T]) Corrupt() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.corrupt.Value()
+}
+
+// WriteErrors reports how many Puts failed to persist.
+func (c *DiskCache[T]) WriteErrors() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.writeErrs.Value()
+}
+
+// Puts reports how many values have been stored (attempted) since
+// creation.
+func (c *DiskCache[T]) Puts() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.puts.Value()
+}
+
+// Instrument publishes the cache's counters into r under
+// "<name>.hits", "<name>.misses", "<name>.puts", "<name>.corrupt" and
+// "<name>.write_errors" — the same atomics Stats/Corrupt/WriteErrors
+// read. Nil receiver or registry is a no-op.
+func (c *DiskCache[T]) Instrument(r *obs.Registry, name string) {
+	if c == nil {
+		return
+	}
+	r.RegisterCounter(name+".hits", &c.hits)
+	r.RegisterCounter(name+".misses", &c.misses)
+	r.RegisterCounter(name+".puts", &c.puts)
+	r.RegisterCounter(name+".corrupt", &c.corrupt)
+	r.RegisterCounter(name+".write_errors", &c.writeErrs)
 }
 
 func (c *DiskCache[T]) setErr(err error) {
+	c.writeErrs.Inc()
 	c.mu.Lock()
-	if c.err == nil {
+	first := c.err == nil
+	if first {
 		c.err = err
 	}
+	warn := c.OnFirstWriteError
 	c.mu.Unlock()
+	if first && warn != nil {
+		warn(err)
+	}
 }
 
 // Tiered composes a fast cache over a slow one, write-through: Get

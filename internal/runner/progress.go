@@ -1,0 +1,130 @@
+package runner
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ProgressLine renders a live one-line campaign status — completed
+// cells, throughput, cache-hit rate, ETA and the current job label —
+// redrawn in place with carriage returns. It consumes the same
+// Progress stream the pool already emits, so attaching it changes
+// nothing about what a campaign computes.
+//
+// A nil *ProgressLine accepts the full API as a no-op, so callers can
+// construct one conditionally (NewProgressLine returns nil off a
+// terminal) and wire it unconditionally.
+type ProgressLine struct {
+	mu       sync.Mutex
+	w        io.Writer
+	lastLen  int
+	lastDraw time.Time
+	done     int64
+	hits     int64
+	wrote    bool
+}
+
+// NewProgressLine returns a live progress renderer writing to f, or
+// nil when disabled or when f is not a terminal — a redrawing line is
+// for humans; logs and pipes keep their existing explicit streams.
+func NewProgressLine(f *os.File, enabled bool) *ProgressLine {
+	if !enabled || f == nil {
+		return nil
+	}
+	if fi, err := f.Stat(); err != nil || fi.Mode()&os.ModeCharDevice == 0 {
+		return nil
+	}
+	return &ProgressLine{w: f}
+}
+
+// Observe consumes one Progress event. Redraws are throttled to ~20/s
+// except for the final event, which always renders.
+func (l *ProgressLine) Observe(p Progress) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.done++
+	if p.CacheHit {
+		l.hits++
+	}
+	now := time.Now()
+	final := p.Done == p.Total
+	if !final && now.Sub(l.lastDraw) < 50*time.Millisecond {
+		return
+	}
+	l.lastDraw = now
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d/%d cells", p.Done, p.Total)
+	if secs := p.Elapsed.Seconds(); secs > 0 {
+		rate := float64(p.Done) / secs
+		fmt.Fprintf(&b, " · %.1f/s", rate)
+		if !final && rate > 0 {
+			eta := time.Duration(float64(p.Total-p.Done)/rate) * time.Second
+			fmt.Fprintf(&b, " · ETA %s", eta.Round(time.Second))
+		}
+	}
+	if l.done > 0 {
+		fmt.Fprintf(&b, " · hits %.0f%%", 100*float64(l.hits)/float64(l.done))
+	}
+	if p.Label != "" {
+		fmt.Fprintf(&b, " · %s", p.Label)
+	}
+	line := b.String()
+	const maxLine = 120
+	if len(line) > maxLine {
+		line = line[:maxLine-1] + "…"
+	}
+	pad := ""
+	if n := l.lastLen - len(line); n > 0 {
+		pad = strings.Repeat(" ", n)
+	}
+	fmt.Fprintf(l.w, "\r%s%s", line, pad)
+	l.lastLen = len(line)
+	l.wrote = true
+}
+
+// Finish terminates the redrawn line with a newline (if anything was
+// drawn), so subsequent output starts clean. Safe to call on nil and
+// more than once.
+func (l *ProgressLine) Finish() {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.wrote {
+		fmt.Fprintln(l.w)
+		l.wrote = false
+		l.lastLen = 0
+	}
+}
+
+// ChainProgress composes progress observers into one callback; nil
+// functions are skipped. Returns nil when every observer is nil, so
+// pools see "no observer" instead of a useless indirection.
+func ChainProgress(fns ...func(Progress)) func(Progress) {
+	live := fns[:0:0]
+	for _, fn := range fns {
+		if fn != nil {
+			live = append(live, fn)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return func(p Progress) {
+		for _, fn := range live {
+			fn(p)
+		}
+	}
+}

@@ -28,6 +28,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"snnfi/internal/obs"
 )
 
 // Job is one unit of campaign work.
@@ -47,10 +51,22 @@ type Job[T any] struct {
 // Progress reports one completed job. Callbacks are serialized but may
 // arrive in any job order; Done is the number of jobs finished so far.
 type Progress struct {
-	Done     int
-	Total    int
-	Label    string
+	Done  int
+	Total int
+	// Index is the completed job's position in the batch (the order
+	// results are collected in), as opposed to Done's completion count.
+	Index int
+	Label string
+	// CacheHit is true when the job's result was not computed by its
+	// own Run call: it was served by the cache or by another job with
+	// the same key (in-flight or already finished in this batch). The
+	// accounting is deterministic — for K duplicate keys in a batch,
+	// exactly one job computes and K−1 report CacheHit — regardless of
+	// scheduling and of whether a Cache is attached.
 	CacheHit bool
+	// Elapsed is the time since the batch started, so observers can
+	// derive rates and ETAs without their own clock.
+	Elapsed time.Duration
 }
 
 // Pool runs batches of jobs on a fixed number of workers.
@@ -65,11 +81,26 @@ type Pool[T any] struct {
 	// (the completed contiguous prefix, ending before the first failed
 	// job). Returning an error aborts the batch.
 	OnResult func(index int, v T, cacheHit bool) error
+	// Obs, when non-nil, receives the pool's telemetry: per-job queue
+	// and run duration histograms ("<name>.wait", "<name>.run"), job
+	// and cache-hit counters ("<name>.jobs", "<name>.hits"), and
+	// per-batch worker-count and utilization gauges ("<name>.workers",
+	// "<name>.utilization", busy time over workers × wall). Telemetry
+	// never affects results (it observes completions the pool already
+	// serializes); a nil registry costs nothing.
+	Obs *obs.Registry
+	// Name prefixes the pool's metric names in Obs; empty means "pool".
+	// Subsystems that own a pool set it so their phases stay separate
+	// ("core.cells", "snn.eval", "neuron.sweep").
+	Name string
 }
 
-// flight tracks one in-progress computation of a cache key so
-// duplicate jobs in the same batch wait for the leader instead of
-// recomputing.
+// flight tracks one computation of a cache key within a batch so
+// duplicate jobs wait for the leader instead of recomputing. Entries
+// are retained for the whole batch (never deleted), which makes
+// duplicate-key accounting deterministic even without a Cache: a
+// duplicate dispatched after its leader finished still finds the
+// flight and reports a hit, instead of silently recomputing.
 type flight[T any] struct {
 	done chan struct{}
 	v    T
@@ -124,13 +155,39 @@ func (p *Pool[T]) Run(jobs []Job[T]) ([]T, error) {
 		}
 	}()
 
+	// Pool telemetry: instruments are resolved once per batch, and
+	// every per-job method below is nil-safe, so a pool without a
+	// registry pays only the time.Now calls Progress.Elapsed needs
+	// anyway.
+	batchStart := time.Now()
+	var busyNs atomic.Int64
+	name := p.Name
+	if name == "" {
+		name = "pool"
+	}
+	var (
+		waitHist = p.Obs.Histogram(name + ".wait")
+		runHist  = p.Obs.Histogram(name + ".run")
+		jobsCnt  = p.Obs.Counter(name + ".jobs")
+		hitsCnt  = p.Obs.Counter(name + ".hits")
+	)
+
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				jobStart := time.Now()
+				waitHist.Observe(jobStart.Sub(batchStart))
 				v, hit, err := p.runOne(jobs[i], flights, &flightMu)
+				jobDur := time.Since(jobStart)
+				busyNs.Add(int64(jobDur))
+				runHist.Observe(jobDur)
+				jobsCnt.Inc()
+				if hit {
+					hitsCnt.Inc()
+				}
 
 				mu.Lock()
 				results[i], errs[i], hits[i], done[i] = v, err, hit, true
@@ -150,13 +207,25 @@ func (p *Pool[T]) Run(jobs []Job[T]) ([]T, error) {
 					nextEmit++
 				}
 				if p.OnProgress != nil {
-					p.OnProgress(Progress{Done: finished, Total: n, Label: jobs[i].Label, CacheHit: hit})
+					p.OnProgress(Progress{
+						Done: finished, Total: n, Index: i,
+						Label: jobs[i].Label, CacheHit: hit,
+						Elapsed: time.Since(batchStart),
+					})
 				}
 				mu.Unlock()
 			}
 		}()
 	}
 	wg.Wait()
+	if p.Obs != nil {
+		wall := time.Since(batchStart)
+		p.Obs.Gauge(name + ".workers").Set(float64(workers))
+		if wall > 0 {
+			p.Obs.Gauge(name + ".utilization").Set(
+				float64(busyNs.Load()) / (float64(workers) * float64(wall)))
+		}
+	}
 
 	for i := range errs {
 		if errs[i] != nil {
@@ -191,10 +260,9 @@ func (p *Pool[T]) runOne(j Job[T], flights map[string]*flight[T], flightMu *sync
 		}
 		return f.v, true, nil
 	}
-	// Recheck the cache before becoming leader: a previous leader Puts
-	// its result before deleting its flight entry, so a missing entry
-	// with a cache hit means the work already finished between our
-	// lock-free Get above and taking flightMu.
+	// Recheck the cache before becoming leader: another Put (a previous
+	// batch, a concurrent process sharing a disk cache) may have landed
+	// between our lock-free Get above and taking flightMu.
 	if p.Cache != nil {
 		if v, ok := p.Cache.Get(j.Key); ok {
 			flightMu.Unlock()
@@ -209,9 +277,6 @@ func (p *Pool[T]) runOne(j Job[T], flights map[string]*flight[T], flightMu *sync
 	if f.err == nil && p.Cache != nil {
 		p.Cache.Put(j.Key, f.v)
 	}
-	flightMu.Lock()
-	delete(flights, j.Key)
-	flightMu.Unlock()
 	close(f.done)
 	return f.v, false, f.err
 }

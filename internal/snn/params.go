@@ -39,6 +39,7 @@ import (
 
 	"snnfi/internal/encoding"
 	"snnfi/internal/mnist"
+	"snnfi/internal/obs"
 	"snnfi/internal/runner"
 	"snnfi/internal/tensor"
 )
@@ -349,6 +350,11 @@ type EvalOptions struct {
 	// the experiment defaults (128 Hz, 1 ms).
 	MaxRate float64
 	Dt      float64
+	// Obs, when non-nil, receives the evaluation pool's telemetry under
+	// "snn.eval.*" (per-shard run/wait histograms, job counters,
+	// utilization). Purely observational: results are bit-identical
+	// with or without it.
+	Obs *obs.Registry
 }
 
 // evalShard is how many consecutive images one pool job presents. The
@@ -388,11 +394,12 @@ func shardJobs[T any](p *Params, images []mnist.Image, opt EvalOptions, run func
 
 // runShards executes the shard jobs and flattens results back into
 // image order.
-func runShards[T any](workers int, jobs []runner.Job[[]T], total int) ([]T, error) {
+func runShards[T any](opt EvalOptions, jobs []runner.Job[[]T], total int) ([]T, error) {
+	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	pool := &runner.Pool[[]T]{Workers: workers}
+	pool := &runner.Pool[[]T]{Workers: workers, Obs: opt.Obs, Name: "snn.eval"}
 	shards, err := pool.Run(jobs)
 	if err != nil {
 		return nil, err
@@ -412,7 +419,7 @@ func CountsParallel(p *Params, images []mnist.Image, opt EvalOptions) ([]tensor.
 	jobs := shardJobs(p, images, opt, func(st *State, i int, seed int64) tensor.Vector {
 		return p.presentImage(st, &images[i], seed).Copy()
 	})
-	return runShards(opt.Workers, jobs, len(images))
+	return runShards(opt, jobs, len(images))
 }
 
 // EvaluateParallel presents every image read-only against p, classifies
@@ -430,7 +437,7 @@ func EvaluateParallel(p *Params, images []mnist.Image, assignments []int, opt Ev
 		}
 		return 0
 	})
-	correct, err := runShards(opt.Workers, jobs, len(images))
+	correct, err := runShards(opt, jobs, len(images))
 	if err != nil {
 		return 0, err
 	}

@@ -5,6 +5,7 @@ import (
 
 	"snnfi/internal/encoding"
 	"snnfi/internal/mnist"
+	"snnfi/internal/obs"
 	"snnfi/internal/tensor"
 )
 
@@ -41,6 +42,15 @@ type TrainOptions struct {
 	// Workers sizes the read-only assignment pass; ≤0 uses all CPUs.
 	// Results are bit-identical at every width.
 	Workers int
+	// Obs, when non-nil, records phase spans: "snn.stdp" (the serial
+	// learning pass) and "snn.assign" (the parallel assignment pass),
+	// plus the assignment pool's "snn.eval.*" metrics. Observation
+	// only — trained results are identical with or without it.
+	Obs *obs.Registry
+	// OnProgress, when non-nil, observes each learning-pass image as
+	// (done, total) — the serial counterpart of the pool's progress
+	// stream, for live training status.
+	OnProgress func(done, total int)
 }
 
 // Train presents the images once (the paper iterates training samples
@@ -75,6 +85,7 @@ func TrainWith(n *DiehlCook, images []mnist.Image, enc *encoding.PoissonEncoder,
 	}
 	base := enc.Seed()
 	defer enc.Reseed(base)
+	stdp := obs.Span(opt.Obs, "snn.stdp")
 	for i := range images {
 		if opt.BeforeImage != nil {
 			opt.BeforeImage(i)
@@ -82,11 +93,18 @@ func TrainWith(n *DiehlCook, images []mnist.Image, enc *encoding.PoissonEncoder,
 		enc.Reseed(ImageSeed(base, i))
 		enc.Begin(&images[i])
 		n.RunImageStream(enc.EncodeStep, true)
+		if opt.OnProgress != nil {
+			opt.OnProgress(i+1, len(images))
+		}
 	}
+	stdp.End()
 
+	assign := obs.Span(opt.Obs, "snn.assign")
 	counts, err := CountsParallel(n.Params(), images, EvalOptions{
 		Workers: opt.Workers, Seed: base, MaxRate: enc.MaxRate, Dt: enc.Dt,
+		Obs: opt.Obs,
 	})
+	assign.End()
 	if err != nil {
 		return nil, err
 	}

@@ -47,6 +47,9 @@ func (o NROptions) withDefaults() NROptions {
 func (c *Circuit) solveNewton(ctx *Context, opt NROptions) error {
 	opt = opt.withDefaults()
 	c.beginStep(ctx)
+	metrics.solves.Inc()
+	iters := 0
+	defer func() { metrics.newtonIters.Add(int64(iters)) }()
 	n := c.NumUnknowns()
 	xNew := ctx.ws.xNew
 	damping := opt.Damping
@@ -63,6 +66,8 @@ func (c *Circuit) solveNewton(ctx *Context, opt NROptions) error {
 		if iter > 0 && iter%40 == 0 && damping > 0.05 {
 			damping *= 0.5
 		}
+		iters = iter + 1
+		metrics.restamps.Inc()
 		c.assemble(ctx)
 		copy(xNew, ctx.B)
 		if err := luSolve(ctx.A, xNew); err != nil {

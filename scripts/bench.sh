@@ -1,23 +1,36 @@
 #!/usr/bin/env bash
 # bench.sh — run the tier benchmarks and emit a machine-readable bench
-# record (BENCH_PR5.json by default). The checked-in copy pins the
-# numbers measured when the intra-cell engine landed; CI regenerates
-# the file on every push and uploads it as an artifact, so the bench
+# record (BENCH_PR6.json by default). The checked-in copy pins the
+# numbers measured when the telemetry layer landed; CI regenerates the
+# file on every push and uploads it as an artifact, so the bench
 # trajectory is recorded per-commit without gating merges on timing.
 #
+# Besides the micro-benches, the record embeds the full campaign report
+# (phase histograms, cache counters, utilization) of one quickstart
+# campaign — the defended attack-4 cell the cache-smoke job runs — so
+# every bench artifact also carries real end-to-end phase timings.
+#
 # Usage: scripts/bench.sh [OUT.json]
-#   BENCHTIME=1s    override -benchtime (default 2x: cheap but real)
-#   BENCH_PATTERN=… override the bench selection regexp
+#   BENCHTIME=1s      override -benchtime (default 2x: cheap but real)
+#   BENCH_PATTERN=…   override the bench selection regexp
+#   SKIP_CAMPAIGN=1   skip the quickstart campaign report
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR5.json}"
+out="${1:-BENCH_PR6.json}"
 benchtime="${BENCHTIME:-2x}"
 pattern="${BENCH_PATTERN:-BenchmarkEvaluate|BenchmarkCountsParallel|BenchmarkStep_|BenchmarkTrainImageStream|BenchmarkEncode_|BenchmarkSpiceTransientStep|BenchmarkCharacterize_AHThresholdVsVDD}"
 
 raw="$(mktemp)"
-trap 'rm -f "$raw"' EXIT
+work="$(mktemp -d)"
+trap 'rm -f "$raw"; rm -rf "$work"' EXIT
 go test -run='^$' -bench="$pattern" -benchtime="$benchtime" . | tee "$raw" >&2
+
+if [ "${SKIP_CAMPAIGN:-0}" != "1" ]; then
+  go build -o "$work/snn-attack" ./cmd/snn-attack
+  "$work/snn-attack" -attack 4 -change -20 -n 60 -defense sizing \
+    -quiet -report "$work/report.json" >/dev/null
+fi
 
 {
   printf '{\n'
@@ -37,7 +50,13 @@ go test -run='^$' -bench="$pattern" -benchtime="$benchtime" . | tee "$raw" >&2
     }
     END { printf("\n") }
   ' "$raw"
-  printf '  ]\n'
+  printf '  ]'
+  if [ -f "$work/report.json" ]; then
+    printf ',\n  "campaign_report": '
+    cat "$work/report.json"
+  else
+    printf '\n'
+  fi
   printf '}\n'
 } > "$out"
 echo "wrote $out" >&2

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"snnfi/internal/suite"
+)
+
+// TestPaperSuiteMatchesGoldens proves the suite interpreter reproduces
+// the paper artifacts byte-for-byte. The goldens under testdata/golden
+// were captured from the pre-suite per-figure functions (the hand-coded
+// implementations this interpreter replaced) at the reduced scale
+// n=60 images, 32 neurons/layer, 100 steps/image — so this test pins
+// the interpreter to the legacy behavior even though that code is gone.
+// There is deliberately no -update flag: regenerating the goldens from
+// the interpreter itself would turn the equivalence proof into a
+// tautology. If an intentional physics/model change shifts the numbers,
+// recapture by running `go run ./cmd/figures -n 60 -neurons 32
+// -steps 100 -out cmd/figures/testdata/golden` and say so in the
+// commit.
+func TestPaperSuiteMatchesGoldens(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full paper suite (~4 s single-core)")
+	}
+	su, err := suite.Load("../../suites/paper.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := t.TempDir()
+	r := &suite.Runner{
+		Suite:   su,
+		Name:    "golden",
+		OutDir:  out,
+		Stdout:  io.Discard,
+		Images:  60,
+		Neurons: 32,
+		Steps:   100,
+	}
+	if err := r.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+
+	goldens, err := filepath.Glob("testdata/golden/*.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(goldens) != 22 {
+		t.Fatalf("expected 22 golden artifacts, found %d", len(goldens))
+	}
+	for _, golden := range goldens {
+		name := filepath.Base(golden)
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(filepath.Join(out, name))
+		if err != nil {
+			t.Errorf("%s: interpreter did not write it: %v", name, err)
+			continue
+		}
+		if string(got) != string(want) {
+			t.Errorf("%s: bytes differ from the legacy capture", name)
+		}
+	}
+
+	// The suite must not write anything the goldens don't cover — a new
+	// artifact needs a new golden, not a silent pass.
+	produced, err := filepath.Glob(filepath.Join(out, "*.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(produced) != len(goldens) {
+		t.Errorf("suite wrote %d artifacts, goldens cover %d", len(produced), len(goldens))
+	}
+}

@@ -1,765 +1,71 @@
-// Command figures regenerates every table and figure of the paper's
-// evaluation. Each experiment (see DESIGN.md's index) prints its series
-// as a text table and writes a CSV next to it.
+// Command figures reproduces the paper's artifacts by interpreting a
+// declarative suite file (suites/paper.json checks in the whole paper:
+// every figure and table of Nagarajan et al., DATE 2022, as data).
+// Each suite entry names a circuit characterization, attack scenario,
+// defense evaluation or extension-fault sweep plus the CSV artifact it
+// writes; the binary itself is only the interpreter — new
+// attack×defense×axis compositions are authored in JSON, with zero Go
+// changes.
 //
 // Usage:
 //
-//	figures [-exp all|F3,F5b,F8b,...] [-n 1000] [-data DIR] [-out results]
-//	        [-workers N] [-jsonl FILE] [-progress]
+//	figures [-suite suites/paper.json] [-only F3,F8b,...] [-list] [-validate]
+//	        [-n N] [-neurons N] [-steps N] [-data DIR] [-out results]
+//	        [-workers N] [-jsonl FILE] [-cache-dir DIR] [-report FILE]
+//	        [-progress] [-quiet]
 //
-// Experiment IDs: F3 F4 F5b F5c F6a F6b F6c F7b F8a F8b F8c F9a F9b F9c
-// F10a F10c D1 D2.
-//
-// Network sweeps execute on internal/runner's worker pool: -workers
-// sizes it (0 = all CPUs), -progress logs each completed sweep cell to
-// stderr, and -jsonl streams every sweep point to a JSON-lines file in
-// addition to the per-figure CSVs. Repeated attack configurations
-// (shared baselines, re-run figures) are served from the result cache
-// instead of retraining.
+// Scale knobs (-n/-neurons/-steps) override the suite's network spec
+// for fast runs; -only restricts the run to selected entry IDs; -list
+// and -validate inspect a suite without running anything. The CSV
+// bytes are identical at any -workers count, and -cache-dir makes a
+// repeated run retrain zero networks.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
-	"strings"
 
-	"snnfi/internal/core"
-	"snnfi/internal/defense"
-	"snnfi/internal/diag"
-	"snnfi/internal/neuron"
-	"snnfi/internal/obs"
-	"snnfi/internal/power"
-	"snnfi/internal/runner"
-	"snnfi/internal/snn"
-	"snnfi/internal/spice"
-	"snnfi/internal/xfer"
+	"snnfi/internal/cli"
 )
 
 func main() {
 	var (
-		expFlag  = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
-		nImages  = flag.Int("n", 1000, "training images per attack configuration")
-		dataDir  = flag.String("data", "", "optional real-MNIST directory (IDX files)")
-		outDir   = flag.String("out", "results", "output directory for CSV series")
-		workers  = flag.Int("workers", 0, "sweep worker-pool size (0 = all CPUs)")
-		jsonl    = flag.String("jsonl", "", "optional JSONL file streaming every sweep point")
-		progress = flag.Bool("progress", false, "log each completed sweep cell to stderr")
-		cacheDir = flag.String("cache-dir", "", "optional directory persisting trained/measured results, so a killed run resumes with only the missing cells recomputed")
-		report   = flag.String("report", "", "write the end-of-run campaign report (JSON) to this file")
-		quiet    = flag.Bool("quiet", false, "suppress the live progress line and the stderr report summary")
+		suitePath = flag.String("suite", "suites/paper.json", "suite file to interpret")
+		only      = flag.String("only", "", "comma-separated entry ids (default: all)")
+		list      = flag.Bool("list", false, "print the suite's entries and exit")
+		validate  = flag.Bool("validate", false, "check the suite file and exit")
+		nImages   = flag.Int("n", 0, "override training images per attack configuration (0 = suite value)")
+		neurons   = flag.Int("neurons", 0, "override excitatory/inhibitory neurons per layer (0 = suite value)")
+		steps     = flag.Int("steps", 0, "override presentation steps per image (0 = suite value)")
+		dataDir   = flag.String("data", "", "optional real-MNIST directory (IDX files)")
+		outDir    = flag.String("out", "results", "output directory for CSV series")
 	)
-	prof := diag.AddFlags()
+	shared := cli.AddFlags(cli.Campaign)
 	flag.Parse()
-	stopProf, err := prof.Start()
-	if err != nil {
-		fatal(err)
-	}
 
-	if err := os.MkdirAll(*outDir, 0o755); err != nil {
-		fatal(err)
+	opts := cli.SuiteOptions{
+		Path:     *suitePath,
+		Only:     *only,
+		List:     *list,
+		Validate: *validate,
+		OutDir:   *outDir,
+		DataDir:  *dataDir,
+		Images:   *nImages,
+		Neurons:  *neurons,
+		Steps:    *steps,
 	}
-	r := &figRunner{nImages: *nImages, dataDir: *dataDir, outDir: *outDir, workers: *workers, cacheDir: *cacheDir}
-	// One registry spans both tiers: circuit sweeps and spice solves
-	// record into it immediately; the network experiment adopts it when
-	// lazily built (see experiment()).
-	r.reg = obs.NewRegistry()
-	spice.Instrument(r.reg)
-	if *progress {
-		r.progress = func(p runner.Progress) {
-			note := ""
-			if p.CacheHit {
-				note = " (cached)"
-			}
-			fmt.Fprintf(os.Stderr, "  [%d/%d] %s%s\n", p.Done, p.Total, p.Label, note)
-		}
-	}
-	// The live status line shares stderr with -progress logging; enable
-	// it only when neither explicit logging nor -quiet is in effect
-	// (and only on a terminal).
-	line := runner.NewProgressLine(os.Stderr, !*progress && !*quiet)
-	r.progress = runner.ChainProgress(r.progress, line.Observe)
-	var sink *runner.JSONLSink
-	if *jsonl != "" {
-		f, err := os.Create(*jsonl)
-		if err != nil {
-			fatal(err)
-		}
-		sink = runner.NewJSONLSink(f)
-		r.sinks = []runner.Sink{sink}
-	}
-	// Circuit-tier characterizations run on the same worker pool
-	// settings as the network sweeps; the shared point cache serves
-	// repeated circuit recipes across figures (e.g. the stock driver
-	// sweep appears in both F5b and F9b).
-	r.char = neuron.NewCharacterizer()
-	r.char.Workers = r.workers
-	r.char.OnProgress = r.progress
-	r.char.Sinks = r.sinks
-	r.char.Obs = r.reg
-	if *cacheDir != "" {
-		// Circuit measurements persist beside the network results
-		// (separate subdirectory, same lifecycle): repeated figure runs
-		// re-measure nothing.
-		disk, err := runner.NewDiskCache[float64](filepath.Join(*cacheDir, "circuit"))
-		if err != nil {
-			fatal(err)
-		}
-		disk.Instrument(r.reg, "cache.circuit")
-		disk.OnFirstWriteError = warnWriteError("circuit")
-		r.char.Cache = runner.NewTiered[float64](r.char.Cache, disk)
-		r.circuitDisk = disk
-	}
-
-	all := []string{"F3", "F4", "F5b", "F5c", "F6a", "F6b", "F6c", "F7b", "F8a", "F8b", "F8c", "F9a", "F9b", "F9c", "F10a", "F10c", "D1", "D2", "D3", "E1", "E2"}
-	want := map[string]bool{}
-	if *expFlag == "all" {
-		for _, id := range all {
-			want[id] = true
-		}
-	} else {
-		for _, id := range strings.Split(*expFlag, ",") {
-			want[strings.TrimSpace(id)] = true
-		}
-	}
-	err = runExperiments(r, all, want)
-	line.Finish()
-	if sink != nil {
-		// Close even when an experiment failed, so records streamed by
-		// the sweeps that did complete reach disk.
-		if cerr := sink.Close(); err == nil {
-			err = cerr
-		}
-	}
-	if r.mon != nil {
-		rep := r.mon.Report()
-		if *report != "" {
-			if werr := rep.WriteFile(*report); err == nil {
-				err = werr
-			}
-		}
-		if !*quiet {
-			rep.Summarize(os.Stderr)
-		}
-	} else if *report != "" {
-		fmt.Fprintln(os.Stderr, "figures: no network campaign ran; -report not written")
-	}
-	if perr := stopProf(); err == nil {
-		err = perr
-	}
-	// A campaign whose results failed to persist is not resumable —
-	// say so instead of exiting 0.
-	if cerr := r.circuitDisk.Err(); err == nil && cerr != nil {
-		err = fmt.Errorf("circuit cache: %w", cerr)
-	}
-	if cerr := r.networkDisk.Err(); err == nil && cerr != nil {
-		err = fmt.Errorf("network cache: %w", cerr)
-	}
-	if err != nil {
-		fatal(err)
+	if err := run(shared, opts); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
 	}
 }
 
-func runExperiments(r *figRunner, all []string, want map[string]bool) error {
-	for _, id := range all {
-		if !want[id] {
-			continue
-		}
-		fmt.Printf("\n===== %s =====\n", id)
-		if err := r.run(id); err != nil {
-			return fmt.Errorf("%s: %w", id, err)
-		}
-	}
-	return nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "figures:", err)
-	os.Exit(1)
-}
-
-// warnWriteError builds a DiskCache.OnFirstWriteError callback: one
-// line, on the first failure only, the moment resumability degrades.
-func warnWriteError(tier string) func(error) {
-	return func(err error) {
-		fmt.Fprintf(os.Stderr, "figures: warning: %s results are no longer being persisted: %v\n", tier, err)
-	}
-}
-
-type figRunner struct {
-	nImages  int
-	dataDir  string
-	outDir   string
-	workers  int
-	cacheDir string
-	progress func(runner.Progress)
-	sinks    []runner.Sink
-	char     *neuron.Characterizer // circuit-tier sweep pool
-
-	// Disk tiers under -cache-dir, kept so persistence failures
-	// (Err) surface at exit; nil receivers are fine without one.
-	circuitDisk *runner.DiskCache[float64]
-	networkDisk *runner.DiskCache[*core.Result]
-
-	reg *obs.Registry // shared telemetry registry, both tiers
-	mon *core.Monitor // attached when the network experiment is built
-
-	exp *core.Experiment // lazily built, shared across network experiments
-}
-
-func (r *figRunner) experiment() (*core.Experiment, error) {
-	if r.exp != nil {
-		return r.exp, nil
-	}
-	e, err := core.NewExperiment(r.dataDir, r.nImages, snn.DefaultConfig())
-	if err != nil {
-		return nil, err
-	}
-	e.Workers = r.workers
-	e.OnProgress = r.progress
-	e.Sinks = r.sinks
-	e.Obs = r.reg
-	r.mon = core.NewMonitor(e, "figures")
-	if mem, ok := e.Cache.(*runner.MemoryCache[*core.Result]); ok {
-		mem.Instrument(r.reg, "cache.network.mem")
-	}
-	if r.cacheDir != "" {
-		disk, err := runner.NewDiskCache[*core.Result](filepath.Join(r.cacheDir, "network"))
-		if err != nil {
-			return nil, err
-		}
-		disk.Instrument(r.reg, "cache.network")
-		disk.OnFirstWriteError = warnWriteError("network")
-		e.Cache = runner.NewTiered[*core.Result](e.Cache, disk)
-		r.networkDisk = disk
-	}
-	base, err := e.Baseline()
-	if err != nil {
-		return nil, err
-	}
-	fmt.Printf("attack-free baseline accuracy: %.2f%% (%d images)\n", 100*base, r.nImages)
-	r.exp = e
-	return e, nil
-}
-
-func (r *figRunner) csv(name, header string, rows [][]float64) error {
-	f, err := os.Create(filepath.Join(r.outDir, name))
+func run(shared *cli.Flags, opts cli.SuiteOptions) (retErr error) {
+	sess, err := shared.Start("figures")
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	fmt.Fprintln(f, header)
-	for _, row := range rows {
-		parts := make([]string, len(row))
-		for i, v := range row {
-			parts[i] = fmt.Sprintf("%g", v)
-		}
-		fmt.Fprintln(f, strings.Join(parts, ","))
-	}
-	return nil
-}
-
-func (r *figRunner) run(id string) error {
-	switch id {
-	case "F3":
-		return r.fig3()
-	case "F4":
-		return r.fig4()
-	case "F5b":
-		return r.fig5b()
-	case "F5c":
-		return r.fig5c()
-	case "F6a":
-		return r.fig6a()
-	case "F6b":
-		return r.fig6b()
-	case "F6c":
-		return r.fig6c()
-	case "F7b":
-		return r.fig7b()
-	case "F8a":
-		return r.layerGrid("F8a", core.Excitatory)
-	case "F8b":
-		return r.layerGrid("F8b", core.Inhibitory)
-	case "F8c":
-		return r.fig8c()
-	case "F9a":
-		return r.fig9a()
-	case "F9b":
-		return r.fig9b()
-	case "F9c":
-		return r.fig9c()
-	case "F10a":
-		return r.fig10a()
-	case "F10c":
-		return r.fig10c()
-	case "D1":
-		return r.tableD1()
-	case "D2":
-		return r.tableD2()
-	case "D3":
-		return r.tableD3()
-	case "E1":
-		return r.extWeightFault()
-	case "E2":
-		return r.extLearningRate()
-	default:
-		return fmt.Errorf("unknown experiment id %q", id)
-	}
-}
-
-// fig3: Axon Hillock transient waveforms (Iin, Vmem, Vout).
-func (r *figRunner) fig3() error {
-	ah := neuron.NewAxonHillock()
-	res, err := ah.Simulate(20e-6, 10e-9)
-	if err != nil {
-		return err
-	}
-	vmem, vout := res.V("vmem"), res.V("vout")
-	spikes := spice.SpikeCount(res.Time, vout, ah.VDD/2)
-	period, _ := spice.SpikePeriod(res.Time, vout, ah.VDD/2)
-	fmt.Printf("AH waveform: %d output spikes in 20 µs, steady period %.3g µs\n", spikes, period*1e6)
-	rows := make([][]float64, 0, len(res.Time)/20)
-	for i := 0; i < len(res.Time); i += 20 {
-		rows = append(rows, []float64{res.Time[i], vmem[i], vout[i]})
-	}
-	return r.csv("fig3_ah_waveform.csv", "t_s,vmem_V,vout_V", rows)
-}
-
-// fig4: I&F transient waveforms (Vmem).
-func (r *figRunner) fig4() error {
-	n := neuron.NewIAF()
-	res, err := n.Simulate(150e-6, 10e-9)
-	if err != nil {
-		return err
-	}
-	vmem := res.V("vmem")
-	tts, err := spice.FirstCrossing(res.Time, vmem, 0.5, true)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("I&F waveform: first threshold crossing at %.3g µs, membrane peak %.3f V\n",
-		tts*1e6, spice.Peak(res.Time, vmem, 0, 150e-6))
-	rows := make([][]float64, 0, len(res.Time)/50)
-	for i := 0; i < len(res.Time); i += 50 {
-		rows = append(rows, []float64{res.Time[i], vmem[i]})
-	}
-	return r.csv("fig4_iaf_waveform.csv", "t_s,vmem_V", rows)
-}
-
-func vddSweep() []float64 { return []float64{0.8, 0.9, 1.0, 1.1, 1.2} }
-
-// fig5b: driver amplitude vs VDD, spice-measured and paper-anchored.
-func (r *figRunner) fig5b() error {
-	pts, err := r.char.DriverAmplitudeVsVDD(vddSweep())
-	if err != nil {
-		return err
-	}
-	anchor := xfer.DriverAmplitudeRatio()
-	ref := pts[2].Y
-	fmt.Println("VDD    I_spice(nA)  Δ_spice%   Δ_paper%")
-	rows := [][]float64{}
-	for _, p := range pts {
-		dSpice := neuron.PercentChange(p.Y, ref)
-		dPaper := 100 * (anchor.At(p.X) - 1)
-		fmt.Printf("%.2f   %8.1f    %+7.1f    %+7.1f\n", p.X, p.Y*1e9, dSpice, dPaper)
-		rows = append(rows, []float64{p.X, p.Y * 1e9, dSpice, dPaper})
-	}
-	return r.csv("fig5b_driver_amplitude.csv", "vdd_V,i_nA,delta_spice_pc,delta_paper_pc", rows)
-}
-
-// fig5c: time-to-spike vs input amplitude for both neurons.
-func (r *figRunner) fig5c() error {
-	amps := []float64{136e-9, 168e-9, 200e-9, 232e-9, 264e-9}
-	ah, err := r.char.AHTimeToSpikeVsAmplitude(amps)
-	if err != nil {
-		return err
-	}
-	iaf, err := r.char.IAFTimeToSpikeVsAmplitude(amps)
-	if err != nil {
-		return err
-	}
-	fmt.Println("I(nA)  AH Δtts%   I&F Δtts%   (paper AH: +53.7/−24.7, I&F: +14.5/−6.7 at extremes)")
-	rows := [][]float64{}
-	for i := range amps {
-		dAH := neuron.PercentChange(ah[i].Y, ah[2].Y)
-		dIAF := neuron.PercentChange(iaf[i].Y, iaf[2].Y)
-		fmt.Printf("%5.0f  %+8.1f  %+9.1f\n", amps[i]*1e9, dAH, dIAF)
-		rows = append(rows, []float64{amps[i] * 1e9, dAH, dIAF})
-	}
-	return r.csv("fig5c_tts_vs_amplitude.csv", "i_nA,ah_delta_pc,iaf_delta_pc", rows)
-}
-
-// fig6a: membrane threshold vs VDD for both neurons.
-func (r *figRunner) fig6a() error {
-	ah, err := r.char.AHThresholdVsVDD(vddSweep())
-	if err != nil {
-		return err
-	}
-	iaf, err := r.char.IAFThresholdVsVDD(vddSweep())
-	if err != nil {
-		return err
-	}
-	fmt.Println("VDD    AH thr(V)  Δ%       I&F thr(V)  Δ%      (paper: ±18/17)")
-	rows := [][]float64{}
-	for i := range ah {
-		dAH := neuron.PercentChange(ah[i].Y, ah[2].Y)
-		dIAF := neuron.PercentChange(iaf[i].Y, iaf[2].Y)
-		fmt.Printf("%.2f   %7.4f  %+7.2f   %8.4f  %+7.2f\n", ah[i].X, ah[i].Y, dAH, iaf[i].Y, dIAF)
-		rows = append(rows, []float64{ah[i].X, ah[i].Y, dAH, iaf[i].Y, dIAF})
-	}
-	return r.csv("fig6a_threshold_vs_vdd.csv", "vdd_V,ah_thr_V,ah_delta_pc,iaf_thr_V,iaf_delta_pc", rows)
-}
-
-// fig6b/fig6c: time-to-spike vs VDD.
-func (r *figRunner) fig6b() error { return r.ttsVsVDD("F6b", xfer.AxonHillock) }
-func (r *figRunner) fig6c() error { return r.ttsVsVDD("F6c", xfer.IAF) }
-
-func (r *figRunner) ttsVsVDD(id string, kind xfer.NeuronKind) error {
-	var pts []neuron.Point
-	var err error
-	if kind == xfer.IAF {
-		pts, err = r.char.IAFTimeToSpikeVsVDD(vddSweep())
-	} else {
-		pts, err = r.char.AHTimeToSpikeVsVDD(vddSweep())
-	}
-	if err != nil {
-		return err
-	}
-	anchor := xfer.TimeToSpikeVsVDDRatio(kind)
-	fmt.Printf("VDD    tts(µs)   Δ_spice%%   Δ_paper%%  (%v)\n", kind)
-	rows := [][]float64{}
-	for _, p := range pts {
-		d := neuron.PercentChange(p.Y, pts[2].Y)
-		dp := 100 * (anchor.At(p.X) - 1)
-		fmt.Printf("%.2f  %8.3f  %+8.1f  %+8.1f\n", p.X, p.Y*1e6, d, dp)
-		rows = append(rows, []float64{p.X, p.Y * 1e6, d, dp})
-	}
-	return r.csv(fmt.Sprintf("fig%s_tts_vs_vdd.csv", strings.ToLower(id[1:])), "vdd_V,tts_us,delta_spice_pc,delta_paper_pc", rows)
-}
-
-// fig7b: Attack 1 theta sweep.
-func (r *figRunner) fig7b() error {
-	e, err := r.experiment()
-	if err != nil {
-		return err
-	}
-	pts, err := e.Attack1Sweep([]float64{-20, -10, 0, 10, 20})
-	if err != nil {
-		return err
-	}
-	fmt.Println("θ change%   accuracy%   rel-change%  (paper: within ±2%, worst −1.5%)")
-	rows := [][]float64{}
-	for _, p := range pts {
-		fmt.Printf("%+8.0f   %8.2f   %+10.2f\n", p.ScalePc, 100*p.Result.Accuracy, p.Result.RelChangePc)
-		rows = append(rows, []float64{p.ScalePc, 100 * p.Result.Accuracy, p.Result.RelChangePc})
-	}
-	return r.csv("fig7b_attack1_theta.csv", "theta_change_pc,accuracy_pc,rel_change_pc", rows)
-}
-
-// layerGrid: Attack 2 (F8a) / Attack 3 (F8b) grids.
-func (r *figRunner) layerGrid(id string, layer core.Layer) error {
-	e, err := r.experiment()
-	if err != nil {
-		return err
-	}
-	changes := []float64{-20, -10, 10, 20}
-	fractions := []float64{0, 25, 50, 75, 100}
-	pts, err := e.LayerGrid(layer, changes, fractions)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("%v threshold grid (rows: Δthr%%, cols: fraction%%), cell = rel-change%%\n", layer)
-	fmt.Printf("        %8.0f %8.0f %8.0f %8.0f %8.0f\n", fractions[0], fractions[1], fractions[2], fractions[3], fractions[4])
-	rows := [][]float64{}
-	for i, c := range changes {
-		fmt.Printf("%+6.0f  ", c)
-		for j := range fractions {
-			p := pts[i*len(fractions)+j]
-			fmt.Printf("%+8.2f ", p.Result.RelChangePc)
-			rows = append(rows, []float64{p.ScalePc, p.FractionPc, 100 * p.Result.Accuracy, p.Result.RelChangePc})
-		}
-		fmt.Println()
-	}
-	if worst, ok := core.WorstCase(pts); ok {
-		fmt.Printf("worst case: %+.2f%% at Δthr=%+.0f%%, fraction=%.0f%%\n",
-			worst.Result.RelChangePc, worst.ScalePc, worst.FractionPc)
-	}
-	return r.csv(fmt.Sprintf("fig%s_attack_%v_grid.csv", strings.ToLower(id[1:]), layer),
-		"thr_change_pc,fraction_pc,accuracy_pc,rel_change_pc", rows)
-}
-
-// fig8c: Attack 4 both-layer sweep.
-func (r *figRunner) fig8c() error {
-	e, err := r.experiment()
-	if err != nil {
-		return err
-	}
-	pts, err := e.Attack4Sweep([]float64{-20, -10, 0, 10, 20})
-	if err != nil {
-		return err
-	}
-	fmt.Println("Δthr%   accuracy%   rel-change%  (paper worst: −85.65% at −20%)")
-	rows := [][]float64{}
-	for _, p := range pts {
-		fmt.Printf("%+5.0f   %8.2f   %+10.2f\n", p.ScalePc, 100*p.Result.Accuracy, p.Result.RelChangePc)
-		rows = append(rows, []float64{p.ScalePc, 100 * p.Result.Accuracy, p.Result.RelChangePc})
-	}
-	return r.csv("fig8c_attack4_both_layers.csv", "thr_change_pc,accuracy_pc,rel_change_pc", rows)
-}
-
-// fig9a: Attack 5 VDD sweep.
-func (r *figRunner) fig9a() error {
-	e, err := r.experiment()
-	if err != nil {
-		return err
-	}
-	pts, err := e.Attack5Sweep(vddSweep(), xfer.IAF)
-	if err != nil {
-		return err
-	}
-	fmt.Println("VDD    accuracy%   rel-change%  (paper worst: −84.93%)")
-	rows := [][]float64{}
-	for _, p := range pts {
-		fmt.Printf("%.2f   %8.2f   %+10.2f\n", p.VDD, 100*p.Result.Accuracy, p.Result.RelChangePc)
-		rows = append(rows, []float64{p.VDD, 100 * p.Result.Accuracy, p.Result.RelChangePc})
-	}
-	return r.csv("fig9a_attack5_vdd.csv", "vdd_V,accuracy_pc,rel_change_pc", rows)
-}
-
-// fig9b: robust driver amplitude vs VDD.
-func (r *figRunner) fig9b() error {
-	unsec, err := r.char.DriverAmplitudeVsVDD(vddSweep())
-	if err != nil {
-		return err
-	}
-	rob, err := r.char.RobustDriverAmplitudeVsVDD(vddSweep())
-	if err != nil {
-		return err
-	}
-	fmt.Println("VDD    unsecured(nA)  Δ%       robust(nA)  Δ%")
-	rows := [][]float64{}
-	for i := range unsec {
-		dU := neuron.PercentChange(unsec[i].Y, unsec[2].Y)
-		dR := neuron.PercentChange(rob[i].Y, rob[2].Y)
-		fmt.Printf("%.2f   %10.1f  %+7.1f   %9.1f  %+7.2f\n", unsec[i].X, unsec[i].Y*1e9, dU, rob[i].Y*1e9, dR)
-		rows = append(rows, []float64{unsec[i].X, unsec[i].Y * 1e9, dU, rob[i].Y * 1e9, dR})
-	}
-	return r.csv("fig9b_robust_driver.csv", "vdd_V,unsecured_nA,unsecured_delta_pc,robust_nA,robust_delta_pc", rows)
-}
-
-// fig9c: sizing sweep + defended accuracy at 0.8 V.
-func (r *figRunner) fig9c() error {
-	ratios := []float64{1, 2, 4, 8, 16, 32}
-	pts, err := r.char.AHThresholdVsSizing(0.8, ratios)
-	if err != nil {
-		return err
-	}
-	nominal := neuron.NewAxonHillock()
-	thr0, err := nominal.Threshold()
-	if err != nil {
-		return err
-	}
-	fmt.Println("W/L×   thr@0.8V   Δ_spice%   Δ_paper-model%")
-	rows := [][]float64{}
-	for _, p := range pts {
-		d := neuron.PercentChange(p.Y, thr0)
-		dp := 100 * xfer.SizingResidualShift(0.8, p.X)
-		fmt.Printf("%4.0f   %7.4f   %+8.2f   %+8.2f\n", p.X, p.Y, d, dp)
-		rows = append(rows, []float64{p.X, p.Y, d, dp})
-	}
-	// Defended accuracy: Attack 4 at the 0.8 V equivalent threshold
-	// shift, replayed undefended and hardened by 32× sizing as one
-	// scenario (shared pool run, shared baseline, detector alongside).
-	e, err := r.experiment()
-	if err != nil {
-		return err
-	}
-	pts2, err := e.RunScenario(&core.Scenario{
-		Name:     "fig9c-sizing-defended",
-		Attack:   core.Attack4,
-		Axes:     core.Axes{ChangesPc: []float64{100 * (xfer.ThresholdRatio(xfer.AxonHillock).At(0.8) - 1)}},
-		Defenses: []core.Hardening{defense.Sizing{WLMultiple: 32}},
-		Detector: defense.NewDetector(xfer.AxonHillock),
-	})
-	if err != nil {
-		return err
-	}
-	undef, def := pts2[0].Result, pts2[1].Result
-	fmt.Printf("accuracy at VDD=0.8: undefended %+.2f%%, 32× sizing %+.2f%% (paper: −85.65%% → −3.49%%), detector: %v\n",
-		undef.RelChangePc, def.RelChangePc, pts2[0].Detected)
-	return r.csv("fig9c_sizing.csv", "wl_multiple,thr_V,delta_spice_pc,delta_model_pc", rows)
-}
-
-// fig10a: comparator neuron threshold and timing vs VDD.
-func (r *figRunner) fig10a() error {
-	vdds := []float64{0.8, 1.0, 1.2}
-	thr, err := r.char.ComparatorMeasuredThresholdVsVDD(vdds)
-	if err != nil {
-		return err
-	}
-	tts, err := r.char.ComparatorTimeToSpikeVsVDD(vdds)
-	if err != nil {
-		return err
-	}
-	fmt.Println("VDD    thr(V)    Δthr%    tts(µs)   Δtts%   (undefended AH: ±20%)")
-	rows := [][]float64{}
-	for i, vdd := range vdds {
-		dThr := neuron.PercentChange(thr[i].Y, thr[1].Y)
-		dTts := neuron.PercentChange(tts[i].Y, tts[1].Y)
-		fmt.Printf("%.2f   %.4f   %+6.2f   %7.3f  %+7.2f\n", vdd, thr[i].Y, dThr, tts[i].Y*1e6, dTts)
-		rows = append(rows, []float64{vdd, thr[i].Y, dThr, tts[i].Y * 1e6, dTts})
-	}
-	return r.csv("fig10a_comparator.csv", "vdd_V,thr_V,dthr_pc,tts_us,dtts_pc", rows)
-}
-
-// fig10c: dummy-neuron detection sweep.
-func (r *figRunner) fig10c() error {
-	for _, kind := range []xfer.NeuronKind{xfer.AxonHillock, xfer.IAF} {
-		det := defense.NewDetector(kind)
-		fmt.Printf("dummy %v (window %.0f ms, trigger ±%.0f%%):\n", kind, det.WindowMs, det.ThresholdPc)
-		rows := [][]float64{}
-		for _, v := range det.DetectionSweep([]float64{0.8, 0.85, 0.9, 0.95, 1.0, 1.05, 1.1, 1.15, 1.2}) {
-			fmt.Println("  ", v)
-			detected := 0.0
-			if v.Detected {
-				detected = 1
-			}
-			rows = append(rows, []float64{v.VDD, float64(v.Count), v.DeviationPc, detected})
-			rec := neuron.PointRecord(fmt.Sprintf("dummy-%v-detection", kind),
-				neuron.Point{X: v.VDD, Y: v.DeviationPc})
-			for _, s := range r.sinks {
-				if err := s.Write(rec); err != nil {
-					return err
-				}
-			}
-		}
-		if err := r.csv(fmt.Sprintf("fig10c_dummy_%v.csv", kind), "vdd_V,count,deviation_pc,detected", rows); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// tableD1: defense overhead table.
-func (r *figRunner) tableD1() error {
-	fmt.Println("defense overheads for the paper's 200-neuron implementation (100/layer):")
-	rows := [][]float64{}
-	for i, row := range power.OverheadTable(200, 100) {
-		fmt.Println("  ", row)
-		rows = append(rows, []float64{float64(i), row.PowerPc, row.AreaPc})
-	}
-	fmt.Println("bandgap area amortization at larger scales:")
-	for _, n := range []int{200, 2000, 20000} {
-		base := power.BaselineSystem(n)
-		sys := power.DefendedSystem(n, power.DefenseSelection{SharedBandgap: true})
-		fmt.Printf("   %6d neurons: area %+6.2f%%\n", n,
-			100*(sys.AreaUm2()-base.AreaUm2())/base.AreaUm2())
-	}
-	return r.csv("d1_overheads.csv", "row,power_pc,area_pc", rows)
-}
-
-// tableD3: dummy-neuron detection coverage of the black-box attack —
-// does the detector flag every VDD point that damages accuracy?
-func (r *figRunner) tableD3() error {
-	e, err := r.experiment()
-	if err != nil {
-		return err
-	}
-	det := defense.NewDetector(xfer.IAF)
-	rows, err := defense.DetectionCoverage(e, det, vddSweep())
-	if err != nil {
-		return err
-	}
-	csvRows := [][]float64{}
-	for _, row := range rows {
-		fmt.Println("  ", row)
-		detected := 0.0
-		if row.Verdict.Detected {
-			detected = 1
-		}
-		csvRows = append(csvRows, []float64{row.VDD, row.RelChangePc, row.Verdict.DeviationPc, detected})
-	}
-	blind := defense.UncoveredDamage(rows, -10)
-	fmt.Printf("blind spots (>10%% damage, undetected): %d\n", len(blind))
-	return r.csv("d3_detection_coverage.csv", "vdd_V,rel_change_pc,count_dev_pc,detected", csvRows)
-}
-
-// extWeightFault: extension experiment E1 — synaptic-weight drift, the
-// first asset §IV-E1 lists but does not study.
-func (r *figRunner) extWeightFault() error {
-	e, err := r.experiment()
-	if err != nil {
-		return err
-	}
-	fmt.Println("weight drift (scale×fraction, one-shot vs persistent every 50 images):")
-	// All four configurations are independent cells: batch them through
-	// the pool instead of training serially.
-	var specs []core.WeightFaultSpec
-	for _, scale := range []float64{0.7, 0.5} {
-		for _, cadence := range []int{0, 50} {
-			specs = append(specs, core.WeightFaultSpec{
-				Scale: scale, Fraction: 0.5, EveryNImages: cadence, Seed: 11,
-			})
-		}
-	}
-	results, err := e.RunWeightFaults(specs)
-	if err != nil {
-		return err
-	}
-	csvRows := [][]float64{}
-	for i, res := range results {
-		fmt.Printf("  scale %.1f cadence %3d: accuracy %.2f%% (%+.2f%%)\n",
-			specs[i].Scale, specs[i].EveryNImages, 100*res.Accuracy, res.RelChangePc)
-		csvRows = append(csvRows, []float64{specs[i].Scale, float64(specs[i].EveryNImages), 100 * res.Accuracy, res.RelChangePc})
-	}
-	return r.csv("e1_weight_fault.csv", "scale,cadence_images,accuracy_pc,rel_change_pc", csvRows)
-}
-
-// extLearningRate: extension experiment E2 — STDP learning-rate
-// corruption, the second unstudied asset of §IV-E1.
-func (r *figRunner) extLearningRate() error {
-	e, err := r.experiment()
-	if err != nil {
-		return err
-	}
-	fmt.Println("learning-rate scaling:")
-	scales := []float64{0, 0.25, 0.5, 1, 2}
-	specs := make([]core.LearningRateFaultSpec, len(scales))
-	for i, scale := range scales {
-		specs[i] = core.LearningRateFaultSpec{Scale: scale}
-	}
-	results, err := e.RunLearningRateFaults(specs)
-	if err != nil {
-		return err
-	}
-	csvRows := [][]float64{}
-	for i, res := range results {
-		fmt.Printf("  ×%.2f: accuracy %.2f%% (%+.2f%%)\n", scales[i], 100*res.Accuracy, res.RelChangePc)
-		csvRows = append(csvRows, []float64{scales[i], 100 * res.Accuracy, res.RelChangePc})
-	}
-	return r.csv("e2_learning_rate.csv", "scale,accuracy_pc,rel_change_pc", csvRows)
-}
-
-// tableD2: bandgap defense accuracy recovery.
-func (r *figRunner) tableD2() error {
-	e, err := r.experiment()
-	if err != nil {
-		return err
-	}
-	pts, err := e.RunScenario(&core.Scenario{
-		Name:     "d2-bandgap-defended",
-		Attack:   core.Attack4,
-		Axes:     core.Axes{ChangesPc: []float64{100 * (xfer.ThresholdRatio(xfer.IAF).At(0.8) - 1)}},
-		Defenses: []core.Hardening{defense.BandgapThreshold{Kind: xfer.IAF}},
-		Detector: defense.NewDetector(xfer.IAF),
-	})
-	if err != nil {
-		return err
-	}
-	undef, def := pts[0].Result, pts[1].Result
-	fmt.Printf("Attack 4 at VDD=0.8 equivalent: undefended %+.2f%%, bandgap %+.2f%% (paper: degradation → ~0%%), detector: %v\n",
-		undef.RelChangePc, def.RelChangePc, pts[0].Detected)
-	return r.csv("d2_bandgap.csv", "config,rel_change_pc", [][]float64{{0, undef.RelChangePc}, {1, def.RelChangePc}})
+	defer sess.CloseInto(&retErr)
+	return sess.RunSuite(opts)
 }

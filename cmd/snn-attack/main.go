@@ -1,7 +1,10 @@
 // Command snn-attack runs one of the paper's five power attacks against
 // the Diehl&Cook digit classifier and reports accuracy relative to the
 // attack-free baseline, with optional defended replays and the
-// dummy-neuron detector judging alongside.
+// dummy-neuron detector judging alongside. With -suite it instead
+// interprets a declarative suite file (see internal/suite and
+// suites/paper.json), so arbitrary attack×defense×axis compositions run
+// without recompiling.
 //
 // Usage:
 //
@@ -9,6 +12,8 @@
 //	snn-attack -attack 5 -vdd 0.8 [-defense bandgap] [-cache-dir DIR]
 //	snn-attack -attack 4 -change -20 -defense sizing
 //	snn-attack -attack 4 -change -20 -cache-dir DIR -audit
+//	snn-attack -suite my-suite.json [-only S1,S2] [-out results]
+//	snn-attack -suite my-suite.json -list
 //
 // Attacks: 1 (driver theta), 2 (excitatory threshold), 3 (inhibitory
 // threshold), 4 (both layers), 5 (black-box VDD).
@@ -28,10 +33,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
+	"snnfi/internal/cli"
 	"snnfi/internal/core"
 	"snnfi/internal/defense"
-	"snnfi/internal/diag"
 	"snnfi/internal/runner"
 	"snnfi/internal/snn"
 	"snnfi/internal/spice"
@@ -56,26 +62,47 @@ func run() (retErr error) {
 		nImages  = flag.Int("n", 1000, "training images")
 		dataDir  = flag.String("data", "", "optional real-MNIST directory")
 		defName  = flag.String("defense", "none", "defense: none|robust-driver|bandgap|sizing|comparator")
-		workers  = flag.Int("workers", 0, "campaign worker-pool size (0 = all CPUs)")
-		jsonl    = flag.String("jsonl", "", "optional JSONL file recording every cell")
-		cacheDir = flag.String("cache-dir", "", "optional directory persisting trained results across runs")
 		audit    = flag.Bool("audit", false, "report which cells -cache-dir already holds, without training anything")
-		report   = flag.String("report", "", "write the end-of-run campaign report (JSON) to this file")
-		quiet    = flag.Bool("quiet", false, "suppress the live progress line and the stderr report summary")
+
+		suitePath = flag.String("suite", "", "interpret a declarative suite file instead of building one scenario from the flags")
+		only      = flag.String("only", "", "comma-separated suite entry ids (with -suite)")
+		list      = flag.Bool("list", false, "print the suite's entries and exit (with -suite)")
+		validate  = flag.Bool("validate", false, "check the suite file and exit (with -suite)")
+		outDir    = flag.String("out", "", "output directory for suite CSV artifacts (with -suite)")
 	)
-	prof := diag.AddFlags()
+	shared := cli.AddFlags(cli.Campaign)
 	flag.Parse()
-	stopProf, err := prof.Start()
+	if *audit && shared.CacheDir == "" {
+		return fmt.Errorf("-audit needs -cache-dir to inspect")
+	}
+	if (*only != "" || *list || *validate || *outDir != "") && *suitePath == "" {
+		return fmt.Errorf("-only/-list/-validate/-out need -suite")
+	}
+
+	sess, err := shared.Start("snn-attack")
 	if err != nil {
 		return err
 	}
-	defer func() {
-		if err := stopProf(); retErr == nil {
-			retErr = err
-		}
-	}()
-	if *audit && *cacheDir == "" {
-		return fmt.Errorf("-audit needs -cache-dir to inspect")
+	defer sess.CloseInto(&retErr)
+
+	if *suitePath != "" {
+		// -n keeps its single-attack default; only an explicit value
+		// overrides the suite's own network spec.
+		images := 0
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "n" {
+				images = *nImages
+			}
+		})
+		return sess.RunSuite(cli.SuiteOptions{
+			Path:     *suitePath,
+			Only:     *only,
+			List:     *list,
+			Validate: *validate,
+			OutDir:   *outDir,
+			DataDir:  *dataDir,
+			Images:   images,
+		})
 	}
 
 	scn := &core.Scenario{Detector: defense.NewDetector(xfer.IAF)}
@@ -111,36 +138,32 @@ func run() (retErr error) {
 	if err != nil {
 		return err
 	}
-	exp.Workers = *workers
+	exp.Workers = shared.Workers
+	exp.OnProgress = sess.OnProgress()
+	exp.Sinks = sess.Sinks()
+	exp.Obs = sess.Registry
 
-	// Telemetry: the monitor installs the registry and counts cells;
-	// instrument the memory tier before it disappears inside Tiered,
-	// then the disk tier, then the circuit solver. None of this changes
-	// what the campaign computes (see core's byte-identity test).
+	// Telemetry: the monitor adopts the session registry and counts
+	// cells; instrument the memory tier before it disappears inside
+	// Tiered, then the disk tier, then the circuit solver. None of this
+	// changes what the campaign computes.
 	mon := core.NewMonitor(exp, fmt.Sprintf("attack%d", *attack))
 	if mem, ok := exp.Cache.(*runner.MemoryCache[*core.Result]); ok {
-		mem.Instrument(mon.Registry(), "cache.fast")
+		mem.Instrument(sess.Registry, "cache.network.mem")
 	}
-	spice.Instrument(mon.Registry())
+	spice.Instrument(sess.Registry)
 
 	var disk *runner.DiskCache[*core.Result]
-	if *cacheDir != "" {
-		disk, err = runner.NewDiskCache[*core.Result](*cacheDir)
+	if shared.CacheDir != "" {
+		// Same layout as suite mode and cmd/figures (network/ under the
+		// cache dir), so one -cache-dir warms every binary.
+		disk, err = cli.Disk[*core.Result](sess, filepath.Join(shared.CacheDir, "network"), "cache.network", "network")
 		if err != nil {
 			return err
-		}
-		disk.Instrument(mon.Registry(), "cache.slow")
-		disk.OnFirstWriteError = func(err error) {
-			fmt.Fprintf(os.Stderr, "snn-attack: warning: results are no longer being persisted to %s: %v\n", *cacheDir, err)
 		}
 		exp.Cache = runner.NewTiered[*core.Result](exp.Cache, disk)
 	}
 
-	// Live progress: a \r-redrawn status line on stderr, only when
-	// stderr is a terminal and -quiet is off.
-	line := runner.NewProgressLine(os.Stderr, !*quiet)
-	defer line.Finish()
-	exp.OnProgress = runner.ChainProgress(exp.OnProgress, line.Observe)
 	if *audit {
 		keys, err := disk.Manifest()
 		if err != nil {
@@ -150,7 +173,7 @@ func run() (retErr error) {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("audit of %s against %s (%d keys held):\n", a.Name, *cacheDir, len(keys))
+		fmt.Printf("audit of %s against %s (%d keys held):\n", a.Name, shared.CacheDir, len(keys))
 		for _, c := range a.Cells {
 			status := "MISSING"
 			if c.Present {
@@ -162,19 +185,7 @@ func run() (retErr error) {
 			a.Present, a.Present+a.Missing, a.Missing)
 		return nil
 	}
-	if *jsonl != "" {
-		f, err := os.Create(*jsonl)
-		if err != nil {
-			return err
-		}
-		sink := runner.NewJSONLSink(f)
-		defer func() {
-			if err := sink.Close(); retErr == nil {
-				retErr = err
-			}
-		}()
-		exp.Sinks = []runner.Sink{sink}
-	}
+
 	base, err := exp.Baseline()
 	if err != nil {
 		return err
@@ -200,20 +211,7 @@ func run() (retErr error) {
 	// invocation against a warm -cache-dir must print 0.
 	fmt.Printf("trained networks: %d\n", exp.TrainCount())
 
-	line.Finish()
-	rep := mon.Report()
-	if *report != "" {
-		if err := rep.WriteFile(*report); err != nil {
-			return err
-		}
-	}
-	if !*quiet {
-		rep.Summarize(os.Stderr)
-	}
-	if disk != nil {
-		return disk.Err()
-	}
-	return nil
+	return sess.FinishReport(mon)
 }
 
 func verdict(detected bool) string {

@@ -21,7 +21,7 @@ import (
 	"os"
 	"time"
 
-	"snnfi/internal/diag"
+	"snnfi/internal/cli"
 	"snnfi/internal/encoding"
 	"snnfi/internal/mnist"
 	"snnfi/internal/runner"
@@ -37,26 +37,19 @@ func main() {
 
 func run() (retErr error) {
 	var (
-		nImages  = flag.Int("n", 1000, "training images")
-		dataDir  = flag.String("data", "", "optional real-MNIST directory (IDX files)")
-		neurons  = flag.Int("neurons", 100, "excitatory/inhibitory neurons per layer")
-		steps    = flag.Int("steps", 250, "presentation steps per image (ms)")
-		seed     = flag.Int64("seed", 1, "weight-initialization seed")
-		workers  = flag.Int("workers", 0, "assignment-pass worker-pool size (0 = all CPUs)")
-		cacheDir = flag.String("cache-dir", "", "optional directory persisting the trained result across runs")
-		quiet    = flag.Bool("quiet", false, "suppress the live progress line")
+		nImages = flag.Int("n", 1000, "training images")
+		dataDir = flag.String("data", "", "optional real-MNIST directory (IDX files)")
+		neurons = flag.Int("neurons", 100, "excitatory/inhibitory neurons per layer")
+		steps   = flag.Int("steps", 250, "presentation steps per image (ms)")
+		seed    = flag.Int64("seed", 1, "weight-initialization seed")
 	)
-	prof := diag.AddFlags()
+	shared := cli.AddFlags(cli.Training)
 	flag.Parse()
-	stopProf, err := prof.Start()
+	sess, err := shared.Start("snn-train")
 	if err != nil {
 		return err
 	}
-	defer func() {
-		if err := stopProf(); retErr == nil {
-			retErr = err
-		}
-	}()
+	defer sess.CloseInto(&retErr)
 
 	images, err := mnist.Load(*dataDir, *nImages, 7)
 	if err != nil {
@@ -72,8 +65,8 @@ func run() (retErr error) {
 		disk *runner.DiskCache[*snn.TrainResult]
 		key  string
 	)
-	if *cacheDir != "" {
-		disk, err = runner.NewDiskCache[*snn.TrainResult](*cacheDir)
+	if shared.CacheDir != "" {
+		disk, err = cli.Disk[*snn.TrainResult](sess, shared.CacheDir, "cache.train", "training")
 		if err != nil {
 			return err
 		}
@@ -88,21 +81,19 @@ func run() (retErr error) {
 			return err
 		}
 		enc := encoding.NewPoissonEncoder(encSeed)
-		// The live line treats each learning-pass image as one unit of
-		// progress (STDP is serial: Index tracks Done, never a hit).
-		line := runner.NewProgressLine(os.Stderr, !*quiet)
+		// The session's live line treats each learning-pass image as one
+		// unit of progress (STDP is serial: Index tracks Done, never a
+		// hit).
 		start := time.Now()
-		opt := snn.TrainOptions{Workers: *workers}
-		if line != nil {
-			opt.OnProgress = func(done, total int) {
-				line.Observe(runner.Progress{
-					Done: done, Total: total, Index: done - 1,
-					Label: "stdp", Elapsed: time.Since(start),
-				})
-			}
+		opt := snn.TrainOptions{Workers: shared.Workers}
+		opt.OnProgress = func(done, total int) {
+			sess.Line.Observe(runner.Progress{
+				Done: done, Total: total, Index: done - 1,
+				Label: "stdp", Elapsed: time.Since(start),
+			})
 		}
 		res, err = snn.TrainWith(net, images, enc, opt)
-		line.Finish()
+		sess.Line.Finish()
 		if err != nil {
 			return err
 		}
@@ -125,8 +116,5 @@ func run() (retErr error) {
 	fmt.Printf("neurons assigned per class: %v\n", perClass)
 	// The count -cache-dir drives to zero on a warm repeat.
 	fmt.Printf("trained networks: %d\n", trained)
-	if disk != nil {
-		return disk.Err()
-	}
 	return nil
 }

@@ -1,55 +1,33 @@
 // Attack sweep: a white-box campaign over layers × threshold change ×
 // fraction-of-layer, the reduced-scale analogue of the paper's Figs.
-// 8a/8b. Shows the asymmetry between excitatory- and inhibitory-layer
-// vulnerability and the dilution effect of partial-layer glitches.
-//
-// The grids execute on internal/runner's worker pool, one worker per
-// CPU: each cell trains an independent network, so the sweep scales
-// with cores while the printed results stay identical to serial.
+// 8a/8b. The whole campaign is declared in the embedded suite.json —
+// this program only decodes and interprets it, so editing the JSON
+// (different attacks, axes, defenses) re-shapes the sweep with zero Go
+// changes. Entries without an output spec print their tables instead of
+// writing CSV artifacts.
 //
 // Run with: go run ./examples/attack-sweep
 package main
 
 import (
-	"fmt"
+	_ "embed"
 	"log"
 	"runtime"
+	"strings"
 
-	"snnfi/internal/core"
-	"snnfi/internal/snn"
+	"snnfi/internal/suite"
 )
 
+//go:embed suite.json
+var suiteJSON string
+
 func main() {
-	cfg := snn.DefaultConfig()
-	cfg.NExc, cfg.NInh = 40, 40
-	cfg.Steps = 150
-
-	exp, err := core.NewExperiment("", 300, cfg)
+	su, err := suite.Decode(strings.NewReader(suiteJSON))
 	if err != nil {
 		log.Fatal(err)
 	}
-	exp.Workers = runtime.GOMAXPROCS(0)
-	base, err := exp.Baseline()
-	if err != nil {
+	r := &suite.Runner{Suite: su, Name: "attack-sweep", Workers: runtime.GOMAXPROCS(0)}
+	if err := r.Run(nil); err != nil {
 		log.Fatal(err)
-	}
-	fmt.Printf("baseline: %.1f%%\n\n", 100*base)
-
-	changes := []float64{-20, 20}
-	fractions := []float64{50, 100}
-	for _, layer := range []core.Layer{core.Excitatory, core.Inhibitory} {
-		fmt.Printf("--- %v layer ---\n", layer)
-		pts, err := exp.LayerGrid(layer, changes, fractions)
-		if err != nil {
-			log.Fatal(err)
-		}
-		for _, p := range pts {
-			fmt.Printf("  Δthr %+3.0f%%, %3.0f%% of layer: accuracy %.1f%% (%+.1f%%)\n",
-				p.ScalePc, p.FractionPc, 100*p.Result.Accuracy, p.Result.RelChangePc)
-		}
-		if worst, ok := core.WorstCase(pts); ok {
-			fmt.Printf("  worst: %+.1f%% at Δthr %+0.f%%, fraction %.0f%%\n\n",
-				worst.Result.RelChangePc, worst.ScalePc, worst.FractionPc)
-		}
 	}
 }

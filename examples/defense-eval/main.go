@@ -1,73 +1,37 @@
 // Defense evaluation: replay the worst-case black-box attack (Attack 5
 // at VDD = 0.8 V) against the undefended network and against each of
-// the paper's §V countermeasures, and print the recovered accuracy next
-// to the defense's power/area overhead.
+// the paper's §V countermeasures, next to the defenses' power/area
+// overheads and the dummy-neuron detector's response curve.
 //
-// The whole matrix is one declarative core.Scenario — the attack
-// coordinate crossed with the defense columns, the dummy-neuron
-// detector judging alongside — so all five configurations (undefended
-// + four defenses) share one worker-pool run and one trained baseline.
+// The whole matrix is the embedded suite.json — one scenario entry
+// (the attack coordinate crossed with the defense columns, the
+// detector judging alongside) plus an overhead and a detection entry —
+// and this program only interprets it. All five attack configurations
+// (undefended + four defenses) share one worker-pool run and one
+// trained baseline.
 //
 // Run with: go run ./examples/defense-eval
 package main
 
 import (
-	"fmt"
+	_ "embed"
 	"log"
 	"runtime"
+	"strings"
 
-	"snnfi/internal/core"
-	"snnfi/internal/defense"
-	"snnfi/internal/power"
-	"snnfi/internal/snn"
-	"snnfi/internal/xfer"
+	"snnfi/internal/suite"
 )
 
+//go:embed suite.json
+var suiteJSON string
+
 func main() {
-	cfg := snn.DefaultConfig()
-	cfg.NExc, cfg.NInh = 40, 40
-	cfg.Steps = 150
-
-	exp, err := core.NewExperiment("", 300, cfg)
+	su, err := suite.Decode(strings.NewReader(suiteJSON))
 	if err != nil {
 		log.Fatal(err)
 	}
-	exp.Workers = runtime.GOMAXPROCS(0)
-	base, err := exp.Baseline()
-	if err != nil {
+	r := &suite.Runner{Suite: su, Name: "defense-eval", Workers: runtime.GOMAXPROCS(0)}
+	if err := r.Run(nil); err != nil {
 		log.Fatal(err)
-	}
-
-	pts, err := exp.RunScenario(&core.Scenario{
-		Name:   "defense-eval",
-		Attack: core.Attack5,
-		Axes:   core.Axes{VDDs: []float64{0.8}, Kind: xfer.IAF},
-		Defenses: []core.Hardening{
-			defense.RobustDriver{ResidualPc: 0.1},
-			defense.BandgapThreshold{Kind: xfer.IAF},
-			defense.Sizing{WLMultiple: 32},
-			defense.ComparatorNeuron{},
-		},
-		Detector: defense.NewDetector(xfer.IAF),
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	undefended := pts[0].Result
-	fmt.Printf("baseline: %.1f%%   under black-box VDD=0.8 attack: %.1f%% (%+.1f%%, detector fired: %v)\n\n",
-		100*base, 100*undefended.Accuracy, undefended.RelChangePc, pts[0].Detected)
-	for _, p := range pts[1:] {
-		fmt.Printf("%-28s accuracy %.1f%% (%+.1f%%)\n", p.Defense, 100*p.Result.Accuracy, p.Result.RelChangePc)
-	}
-
-	fmt.Println("\noverheads (200-neuron system, 100 per layer):")
-	for _, row := range power.OverheadTable(200, 100) {
-		fmt.Println("  ", row)
-	}
-
-	fmt.Println("\ndummy-neuron detector response (Fig. 10c):")
-	det := defense.NewDetector(xfer.AxonHillock)
-	for _, v := range det.DetectionSweep([]float64{0.85, 0.95, 1.0, 1.05, 1.15}) {
-		fmt.Println("  ", v)
 	}
 }

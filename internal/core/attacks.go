@@ -37,6 +37,15 @@ func (a AttackID) String() string {
 	return fmt.Sprintf("attack(%d)", int(a))
 }
 
+// AttackByNumber maps the paper's attack numbering (1–5), as written
+// in declarative suite files and CLI flags, onto an AttackID.
+func AttackByNumber(n int) (AttackID, error) {
+	if n < int(Attack1) || n > int(Attack5) {
+		return 0, fmt.Errorf("core: unknown attack %d (want 1-5)", n)
+	}
+	return AttackID(n), nil
+}
+
 // WhiteBox reports whether the attack needs layout/placement knowledge
 // (everything except the shared-supply Attack 5... which the paper
 // still counts as black box because only the external power port is

@@ -25,10 +25,15 @@ type Flags struct {
 // AddFlags registers -pprof, -cpuprofile and -memprofile on the
 // default flag set. Call before flag.Parse.
 func AddFlags() *Flags {
+	return AddFlagsTo(flag.CommandLine)
+}
+
+// AddFlagsTo registers the profiling flags on an explicit flag set.
+func AddFlagsTo(fs *flag.FlagSet) *Flags {
 	f := &Flags{}
-	flag.StringVar(&f.PprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
-	flag.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
-	flag.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to this file at exit")
+	fs.StringVar(&f.PprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to this file at exit")
 	return f
 }
 

@@ -1,0 +1,133 @@
+package neuron
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RecipeSpec names one characterization sweep as pure data: which
+// sweep family to run (a key of the recipe registry below) and the
+// independent-axis values, plus the fixed parameters some recipes
+// take. It is what declarative suite files (internal/suite) compile
+// circuit entries down to, so arbitrary circuit characterizations can
+// be composed without recompiling.
+type RecipeSpec struct {
+	// Name selects the sweep family; RecipeNames lists the registry.
+	Name string
+	// Xs are the swept independent values (VDD, amplitude, W/L ratio).
+	Xs []float64
+	// VDD is the fixed supply for sweeps whose axis is not the supply
+	// (ah-threshold-vs-sizing). 0 means the recipe's nominal value.
+	VDD float64
+	// Window is the sampling window in seconds for the dummy-cell count
+	// sweeps. 0 means 100 ms (the paper's detector window).
+	Window float64
+}
+
+// Validate reports specification errors against the registry.
+func (r RecipeSpec) Validate() error {
+	rec, ok := recipes[r.Name]
+	if !ok {
+		return fmt.Errorf("neuron: unknown recipe %q (known: %v)", r.Name, RecipeNames())
+	}
+	if len(r.Xs) == 0 {
+		return fmt.Errorf("neuron: recipe %q needs at least one sweep value", r.Name)
+	}
+	if r.VDD != 0 && !rec.usesVDD {
+		return fmt.Errorf("neuron: recipe %q does not take a fixed vdd", r.Name)
+	}
+	if r.Window != 0 && !rec.usesWindow {
+		return fmt.Errorf("neuron: recipe %q does not take a sampling window", r.Name)
+	}
+	if r.VDD < 0 {
+		return fmt.Errorf("neuron: recipe %q vdd must be positive, got %g", r.Name, r.VDD)
+	}
+	if r.Window < 0 {
+		return fmt.Errorf("neuron: recipe %q window must be positive, got %g", r.Name, r.Window)
+	}
+	return nil
+}
+
+// Measure runs the named sweep on the characterizer's pool: points are
+// content-addressed and cached exactly like the method-based sweeps
+// (they share keys — a suite-driven sweep hits the same cache entries
+// as the figure methods that motivated it).
+func (ch *Characterizer) Measure(spec RecipeSpec) ([]Point, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return recipes[spec.Name].run(ch, spec)
+}
+
+// recipe is one registry row: the executable sweep plus which fixed
+// parameters the spec may set.
+type recipe struct {
+	run        func(*Characterizer, RecipeSpec) ([]Point, error)
+	usesVDD    bool
+	usesWindow bool
+}
+
+// recipes maps sweep names to the Characterizer methods; the names
+// double as the "sweep" field of streamed point records.
+var recipes = map[string]recipe{
+	"ah-threshold-vs-vdd": {run: func(ch *Characterizer, s RecipeSpec) ([]Point, error) {
+		return ch.AHThresholdVsVDD(s.Xs)
+	}},
+	"iaf-threshold-vs-vdd": {run: func(ch *Characterizer, s RecipeSpec) ([]Point, error) {
+		return ch.IAFThresholdVsVDD(s.Xs)
+	}},
+	"ah-threshold-vs-sizing": {usesVDD: true, run: func(ch *Characterizer, s RecipeSpec) ([]Point, error) {
+		vdd := s.VDD
+		if vdd == 0 {
+			vdd = 1.0
+		}
+		return ch.AHThresholdVsSizing(vdd, s.Xs)
+	}},
+	"driver-amplitude-vs-vdd": {run: func(ch *Characterizer, s RecipeSpec) ([]Point, error) {
+		return ch.DriverAmplitudeVsVDD(s.Xs)
+	}},
+	"robust-driver-amplitude-vs-vdd": {run: func(ch *Characterizer, s RecipeSpec) ([]Point, error) {
+		return ch.RobustDriverAmplitudeVsVDD(s.Xs)
+	}},
+	"ah-tts-vs-vdd": {run: func(ch *Characterizer, s RecipeSpec) ([]Point, error) {
+		return ch.AHTimeToSpikeVsVDD(s.Xs)
+	}},
+	"iaf-tts-vs-vdd": {run: func(ch *Characterizer, s RecipeSpec) ([]Point, error) {
+		return ch.IAFTimeToSpikeVsVDD(s.Xs)
+	}},
+	"ah-tts-vs-amplitude": {run: func(ch *Characterizer, s RecipeSpec) ([]Point, error) {
+		return ch.AHTimeToSpikeVsAmplitude(s.Xs)
+	}},
+	"iaf-tts-vs-amplitude": {run: func(ch *Characterizer, s RecipeSpec) ([]Point, error) {
+		return ch.IAFTimeToSpikeVsAmplitude(s.Xs)
+	}},
+	"comparator-threshold-vs-vdd": {run: func(ch *Characterizer, s RecipeSpec) ([]Point, error) {
+		return ch.ComparatorMeasuredThresholdVsVDD(s.Xs)
+	}},
+	"comparator-tts-vs-vdd": {run: func(ch *Characterizer, s RecipeSpec) ([]Point, error) {
+		return ch.ComparatorTimeToSpikeVsVDD(s.Xs)
+	}},
+	"dummy-ah-count-vs-vdd": {usesWindow: true, run: func(ch *Characterizer, s RecipeSpec) ([]Point, error) {
+		return ch.DummyCountVsVDD(DummyAxonHillock, dummyWindow(s), s.Xs)
+	}},
+	"dummy-iaf-count-vs-vdd": {usesWindow: true, run: func(ch *Characterizer, s RecipeSpec) ([]Point, error) {
+		return ch.DummyCountVsVDD(DummyIAF, dummyWindow(s), s.Xs)
+	}},
+}
+
+func dummyWindow(s RecipeSpec) float64 {
+	if s.Window == 0 {
+		return 100e-3
+	}
+	return s.Window
+}
+
+// RecipeNames lists the registered sweep families, sorted.
+func RecipeNames() []string {
+	names := make([]string, 0, len(recipes))
+	for name := range recipes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,29 @@
+package suite
+
+import (
+	"fmt"
+	"io"
+)
+
+// Describe renders the suite's table of contents — one line per entry
+// with its kind and artifact — the -list view.
+func (s *Suite) Describe(w io.Writer) {
+	fmt.Fprintf(w, "%s — %d entries\n", s.Name, len(s.Entries))
+	if s.Description != "" {
+		fmt.Fprintln(w, s.Description)
+	}
+	if n := s.Network; n != nil {
+		fmt.Fprintf(w, "network: %d images, %d neurons/layer, %d steps/image\n", n.Images, n.Neurons, n.Steps)
+	}
+	for i := range s.Entries {
+		e := &s.Entries[i]
+		line := fmt.Sprintf("  %-6s %-12s", e.ID, e.Kind())
+		if e.Title != "" {
+			line += " " + e.Title
+		}
+		if e.Output != nil {
+			line += fmt.Sprintf("  → %s", e.Output.CSV)
+		}
+		fmt.Fprintln(w, line)
+	}
+}

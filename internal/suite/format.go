@@ -1,0 +1,363 @@
+// Package suite implements the declarative scenario-suite format: a
+// whole evaluation campaign — the paper's every figure and table, or a
+// user's custom attack×defense study — as one JSON file, interpreted
+// down to the existing experiment layers (core.Scenario for network
+// campaigns, neuron.Characterizer recipes for circuit sweeps, the
+// defense package's detector and coverage analyses, power's overhead
+// inventory).
+//
+// A suite is an ordered list of entries. Each entry names one artifact
+// (a figure or table ID), describes what to run as pure data, and
+// optionally where the rendered CSV goes. Decoding is strict — unknown
+// fields are rejected, with errors scoped to the offending entry — so
+// a typo'd suite fails loudly instead of silently dropping an axis.
+package suite
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Suite is one campaign specification: shared network scale plus the
+// ordered entries to interpret.
+type Suite struct {
+	// Name labels the suite in listings and reports.
+	Name string `json:"name"`
+	// Description is free text shown by -list.
+	Description string `json:"description,omitempty"`
+	// Network sets the shared network scale for every scenario and
+	// extension entry; nil uses the interpreter's defaults.
+	Network *NetworkSpec `json:"network,omitempty"`
+	// Entries run in order.
+	Entries []Entry `json:"entries"`
+}
+
+// NetworkSpec scales the shared experiment. Zero fields keep the
+// snn.DefaultConfig value (and 1000 images).
+type NetworkSpec struct {
+	// Images is the number of training images per attack configuration.
+	Images int `json:"images,omitempty"`
+	// Neurons sets the excitatory (and matching inhibitory) layer size.
+	Neurons int `json:"neurons,omitempty"`
+	// Steps is the presentation steps per image.
+	Steps int `json:"steps,omitempty"`
+}
+
+// Entry is one artifact of the suite: an ID, exactly one primary
+// experiment kind (waveform | circuit | scenario | weight_faults |
+// learning_rate_faults | detection | coverage | overhead), and an
+// optional output spec. The one sanctioned combination is circuit +
+// scenario (a characterization whose entry also replays a defended
+// accuracy point, Fig. 9c); the output then renders the circuit series
+// and the scenario is print-only.
+type Entry struct {
+	// ID names the artifact ("F7b", "D2", ...); unique within the suite.
+	ID string `json:"id"`
+	// Title is a one-line description for listings.
+	Title string `json:"title,omitempty"`
+	// Note is free text printed when the entry runs (paper anchors,
+	// expected worst cases).
+	Note string `json:"note,omitempty"`
+
+	Waveform           *WaveformSpec           `json:"waveform,omitempty"`
+	Circuit            []RecipeRef             `json:"circuit,omitempty"`
+	Scenario           *ScenarioSpec           `json:"scenario,omitempty"`
+	WeightFaults       []WeightFaultSpec       `json:"weight_faults,omitempty"`
+	LearningRateFaults []LearningRateFaultSpec `json:"learning_rate_faults,omitempty"`
+	Detection          *DetectionSpec          `json:"detection,omitempty"`
+	Coverage           *CoverageSpec           `json:"coverage,omitempty"`
+	Overhead           *OverheadSpec           `json:"overhead,omitempty"`
+
+	// Output, when present, renders the entry's series as a CSV file.
+	// Entries without one print their results and write nothing.
+	Output *OutputSpec `json:"output,omitempty"`
+}
+
+// WaveformSpec is a single-neuron transient simulation (Figs. 3, 4).
+type WaveformSpec struct {
+	// Neuron is the circuit: "ah" (axon-hillock) or "iaf".
+	Neuron string `json:"neuron"`
+	// StopS and StepS are the transient horizon and solver step, in
+	// seconds.
+	StopS float64 `json:"stop_s"`
+	StepS float64 `json:"step_s"`
+	// Stride thins the stored trace: every Stride-th sample becomes one
+	// CSV row (0 or 1 keeps them all).
+	Stride int `json:"stride,omitempty"`
+	// Signals are the node voltages recorded after the time column.
+	Signals []string `json:"signals"`
+	// Summary, when present, prints one derived measurement.
+	Summary *WaveformSummary `json:"summary,omitempty"`
+}
+
+// WaveformSummary is the entry's printed one-line measurement.
+type WaveformSummary struct {
+	// Kind is "spikes" (count + steady period above a level) or
+	// "first-crossing" (latency to a rising level + peak).
+	Kind string `json:"kind"`
+	// Signal names the measured node.
+	Signal string `json:"signal"`
+	// Threshold is the absolute crossing level in volts; alternatively
+	// ThresholdFracVDD expresses it as a fraction of the circuit's VDD.
+	Threshold        float64 `json:"threshold,omitempty"`
+	ThresholdFracVDD float64 `json:"threshold_frac_vdd,omitempty"`
+}
+
+// RecipeRef names one circuit-characterization sweep from the
+// neuron recipe registry (neuron.RecipeNames).
+type RecipeRef struct {
+	// Recipe selects the sweep family.
+	Recipe string `json:"recipe"`
+	// Xs are the swept independent values.
+	Xs []float64 `json:"xs"`
+	// VDD fixes the supply for sweeps whose axis is not the supply.
+	VDD float64 `json:"vdd,omitempty"`
+	// WindowS is the sampling window in seconds for dummy-count sweeps.
+	WindowS float64 `json:"window_s,omitempty"`
+}
+
+// ScenarioSpec is a declarative core.Scenario: an attack family swept
+// over axis grids, replayed against defense columns, with the
+// dummy-neuron detector judging alongside.
+type ScenarioSpec struct {
+	// Name labels streamed records; empty derives it from the attack.
+	Name string `json:"name,omitempty"`
+	// Attack is the paper's attack number (1-5).
+	Attack int `json:"attack"`
+	// ChangesPc sweeps the parameter change in percent (attacks 1-4).
+	// Each value is a plain number or a vdd_equivalent object resolving
+	// through the circuit transfer curves.
+	ChangesPc []AxisValue `json:"changes_pc,omitempty"`
+	// FractionsPc sweeps layer coverage in percent (attacks 2-3).
+	FractionsPc []float64 `json:"fractions_pc,omitempty"`
+	// VDDs sweeps the supply (attack 5).
+	VDDs []float64 `json:"vdds,omitempty"`
+	// Neuron selects the transfer curves for attack 5 ("ah" | "iaf").
+	Neuron string `json:"neuron,omitempty"`
+	// MaskSeed fixes which neurons partial-layer glitches hit; 0 keeps
+	// the campaign default so fractions nest across entry points.
+	MaskSeed int64 `json:"mask_seed,omitempty"`
+	// Defenses are the hardened replay columns (undefended is implicit).
+	Defenses []DefenseSpec `json:"defenses,omitempty"`
+	// Detector, when present, judges every coordinate.
+	Detector *DetectorSpec `json:"detector,omitempty"`
+}
+
+// AxisValue is one changes_pc entry: either a literal percent change
+// or the change equivalent to a supply excursion, resolved through the
+// named circuit's VDD→threshold transfer curve.
+type AxisValue struct {
+	Value         float64
+	VDDEquivalent *VDDEquivalent
+}
+
+// VDDEquivalent resolves to 100·(ThresholdRatio(neuron).At(vdd) − 1).
+type VDDEquivalent struct {
+	Neuron string  `json:"neuron"`
+	VDD    float64 `json:"vdd"`
+}
+
+// UnmarshalJSON accepts a bare number or {"vdd_equivalent": {...}}.
+func (a *AxisValue) UnmarshalJSON(data []byte) error {
+	trimmed := bytes.TrimSpace(data)
+	if len(trimmed) == 0 || trimmed[0] != '{' {
+		return json.Unmarshal(data, &a.Value)
+	}
+	var obj struct {
+		VDDEquivalent *VDDEquivalent `json:"vdd_equivalent"`
+	}
+	if err := strictUnmarshal(data, &obj); err != nil {
+		return err
+	}
+	if obj.VDDEquivalent == nil {
+		return fmt.Errorf("axis value object needs a vdd_equivalent field")
+	}
+	a.VDDEquivalent = obj.VDDEquivalent
+	return nil
+}
+
+// MarshalJSON round-trips the two forms.
+func (a AxisValue) MarshalJSON() ([]byte, error) {
+	if a.VDDEquivalent != nil {
+		return json.Marshal(map[string]*VDDEquivalent{"vdd_equivalent": a.VDDEquivalent})
+	}
+	return json.Marshal(a.Value)
+}
+
+// DefenseSpec names one hardened replay column.
+type DefenseSpec struct {
+	// Kind is robust-driver | bandgap | sizing | comparator.
+	Kind string `json:"kind"`
+	// ResidualPc is robust-driver's remaining amplitude error in percent.
+	ResidualPc float64 `json:"residual_pc,omitempty"`
+	// Neuron selects bandgap's threshold curve ("ah" | "iaf").
+	Neuron string `json:"neuron,omitempty"`
+	// WLMultiple is sizing's MP1 W/L relative to baseline.
+	WLMultiple float64 `json:"wl_multiple,omitempty"`
+}
+
+// DetectorSpec configures the dummy-neuron detector. Zero overrides
+// keep the paper's configuration (100 ms window, ±10% trigger).
+type DetectorSpec struct {
+	Neuron      string  `json:"neuron"`
+	WindowMs    float64 `json:"window_ms,omitempty"`
+	ThresholdPc float64 `json:"threshold_pc,omitempty"`
+}
+
+// WeightFaultSpec mirrors core.WeightFaultSpec as suite data.
+type WeightFaultSpec struct {
+	Scale        float64 `json:"scale"`
+	Fraction     float64 `json:"fraction"`
+	EveryNImages int     `json:"every_n_images,omitempty"`
+	Seed         int64   `json:"seed,omitempty"`
+}
+
+// LearningRateFaultSpec mirrors core.LearningRateFaultSpec.
+type LearningRateFaultSpec struct {
+	Scale float64 `json:"scale"`
+}
+
+// DetectionSpec sweeps the dummy-neuron detector over a supply range
+// for each listed neuron flavor (Fig. 10c).
+type DetectionSpec struct {
+	Neurons []string  `json:"neurons"`
+	VDDs    []float64 `json:"vdds"`
+}
+
+// CoverageSpec runs the black-box attack over a supply sweep and
+// checks each point against the detector (experiment D3).
+type CoverageSpec struct {
+	Neuron string    `json:"neuron"`
+	VDDs   []float64 `json:"vdds"`
+	// DamageThresholdPc defines a blind spot: relative accuracy change
+	// below this with the detector silent (0 counts any degradation).
+	DamageThresholdPc float64 `json:"damage_threshold_pc,omitempty"`
+}
+
+// OverheadSpec renders the defense power/area overhead table (D1).
+type OverheadSpec struct {
+	// Neurons is the system size, PerLayer the layer organization.
+	Neurons  int `json:"neurons"`
+	PerLayer int `json:"per_layer"`
+	// Amortize additionally prints the shared-bandgap area overhead at
+	// these system sizes.
+	Amortize []int `json:"amortize,omitempty"`
+}
+
+// OutputSpec renders an entry's series as a CSV artifact.
+type OutputSpec struct {
+	// CSV is the file name under the output directory. Detection
+	// entries with several neuron flavors use a "{neuron}" placeholder.
+	CSV string `json:"csv"`
+	// Header is written verbatim as the first line.
+	Header string `json:"header"`
+	// Columns compute circuit-entry values per sweep row.
+	Columns []ColumnSpec `json:"columns,omitempty"`
+	// Fields select scenario/extension row values by name (see
+	// DESIGN.md's field vocabulary).
+	Fields []string `json:"fields,omitempty"`
+}
+
+// ColumnSpec computes one circuit-series CSV column.
+type ColumnSpec struct {
+	// From is x | y | delta-pc | anchor-pc.
+	From string `json:"from"`
+	// Series indexes the entry's circuit list (default 0).
+	Series int `json:"series,omitempty"`
+	// Scale multiplies x/y values (0 means 1; e.g. 1e9 renders nA).
+	Scale float64 `json:"scale,omitempty"`
+	// RefSeries/RefIndex locate delta-pc's reference point; RefSeries
+	// defaults to Series.
+	RefSeries *int `json:"ref_series,omitempty"`
+	RefIndex  int  `json:"ref_index,omitempty"`
+	// Anchor evaluates a published transfer curve at the row's x.
+	Anchor *AnchorSpec `json:"anchor,omitempty"`
+}
+
+// AnchorSpec is a paper-anchored reference column: the percent change
+// the published transfer curves predict at the row's x value.
+type AnchorSpec struct {
+	// Curve is driver-amplitude | tts-vs-vdd | sizing-residual.
+	Curve string `json:"curve"`
+	// Neuron selects the flavor for tts-vs-vdd.
+	Neuron string `json:"neuron,omitempty"`
+	// VDD is sizing-residual's fixed supply (the row's x is the W/L).
+	VDD float64 `json:"vdd,omitempty"`
+}
+
+// strictUnmarshal decodes one JSON value rejecting unknown fields.
+func strictUnmarshal(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after value")
+	}
+	return nil
+}
+
+// Decode reads one suite, strictly. Unknown fields anywhere are
+// errors; entry-level problems are reported with the entry's index and
+// ID so a 21-entry file pinpoints the broken one.
+func Decode(r io.Reader) (*Suite, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	// Two-pass decode: the envelope first with raw entries, then each
+	// entry on its own strict decoder, so an unknown field inside entry
+	// 13 names entry 13 instead of the whole file.
+	var shadow struct {
+		Name        string            `json:"name"`
+		Description string            `json:"description"`
+		Network     *NetworkSpec      `json:"network"`
+		Entries     []json.RawMessage `json:"entries"`
+	}
+	if err := strictUnmarshal(data, &shadow); err != nil {
+		return nil, fmt.Errorf("suite: %w", err)
+	}
+	s := &Suite{Name: shadow.Name, Description: shadow.Description, Network: shadow.Network}
+	s.Entries = make([]Entry, len(shadow.Entries))
+	for i, raw := range shadow.Entries {
+		if err := strictUnmarshal(raw, &s.Entries[i]); err != nil {
+			id := s.Entries[i].ID
+			if id == "" {
+				// The strict decode may fail before reaching the id
+				// field; recover it leniently for the error message.
+				var probe struct {
+					ID string `json:"id"`
+				}
+				_ = json.Unmarshal(raw, &probe)
+				id = probe.ID
+			}
+			return nil, fmt.Errorf("suite: entry %d (%s): %w", i, orUnnamed(id), err)
+		}
+	}
+	return s, nil
+}
+
+// Load reads and strictly decodes a suite file.
+func Load(path string) (*Suite, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	s, err := Decode(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+func orUnnamed(id string) string {
+	if id == "" {
+		return "unnamed"
+	}
+	return id
+}

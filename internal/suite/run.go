@@ -1,0 +1,641 @@
+package suite
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"snnfi/internal/core"
+	"snnfi/internal/defense"
+	"snnfi/internal/neuron"
+	"snnfi/internal/obs"
+	"snnfi/internal/power"
+	"snnfi/internal/runner"
+	"snnfi/internal/snn"
+	"snnfi/internal/spice"
+	"snnfi/internal/xfer"
+)
+
+// Runner interprets a suite: entries run in order, each printing its
+// results and (with an output spec) writing a CSV artifact whose bytes
+// are identical at any worker count.
+type Runner struct {
+	Suite *Suite
+	// Name labels the campaign report ("figures", "snn-attack").
+	Name string
+	// OutDir receives CSV artifacts; required only when an entry has an
+	// output spec.
+	OutDir string
+	// Stdout receives the printed tables (defaults to os.Stdout).
+	Stdout io.Writer
+	// DataDir optionally points at a real-MNIST directory.
+	DataDir string
+	// Images/Neurons/Steps override the suite's network spec when >0
+	// (the CLI's reduced-scale knobs).
+	Images  int
+	Neurons int
+	Steps   int
+	// Workers sizes the worker pools (0 = all CPUs).
+	Workers int
+	// Char runs the circuit-tier sweeps; a fresh Characterizer is built
+	// on first use when nil. Callers wire its cache/progress/sinks.
+	Char *neuron.Characterizer
+	// OnProgress/Sinks/Obs wire the network experiment like the
+	// circuit tier: one progress stream, one record stream, one
+	// telemetry registry across the whole suite.
+	OnProgress func(runner.Progress)
+	Sinks      []runner.Sink
+	Obs        *obs.Registry
+	// OnExperiment, when non-nil, runs once after the shared experiment
+	// is built and before anything trains — the hook where commands
+	// compose a disk cache tier under it.
+	OnExperiment func(*core.Experiment) error
+
+	exp *core.Experiment
+	mon *core.Monitor
+}
+
+// Monitor returns the campaign monitor, nil until a network entry ran.
+func (r *Runner) Monitor() *core.Monitor { return r.mon }
+
+// Config resolves the network configuration the suite's scenario
+// entries train: the suite's network spec over snn.DefaultConfig, then
+// the runner's explicit overrides.
+func (r *Runner) Config() (snn.DiehlCookConfig, int) {
+	cfg := snn.DefaultConfig()
+	images := 1000
+	if n := r.Suite.Network; n != nil {
+		if n.Images > 0 {
+			images = n.Images
+		}
+		if n.Neurons > 0 {
+			cfg.NExc, cfg.NInh = n.Neurons, n.Neurons
+		}
+		if n.Steps > 0 {
+			cfg.Steps = n.Steps
+		}
+	}
+	if r.Images > 0 {
+		images = r.Images
+	}
+	if r.Neurons > 0 {
+		cfg.NExc, cfg.NInh = r.Neurons, r.Neurons
+	}
+	if r.Steps > 0 {
+		cfg.Steps = r.Steps
+	}
+	return cfg, images
+}
+
+func (r *Runner) stdout() io.Writer {
+	if r.Stdout != nil {
+		return r.Stdout
+	}
+	return os.Stdout
+}
+
+func (r *Runner) char() *neuron.Characterizer {
+	if r.Char == nil {
+		r.Char = neuron.NewCharacterizer()
+		r.Char.Workers = r.Workers
+		r.Char.OnProgress = r.OnProgress
+		r.Char.Sinks = r.Sinks
+		r.Char.Obs = r.Obs
+	}
+	return r.Char
+}
+
+// Experiment lazily builds the shared network experiment: circuit-only
+// suites never load the corpus or train anything.
+func (r *Runner) Experiment() (*core.Experiment, error) {
+	if r.exp != nil {
+		return r.exp, nil
+	}
+	cfg, images := r.Config()
+	e, err := core.NewExperiment(r.DataDir, images, cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.Workers = r.Workers
+	e.OnProgress = r.OnProgress
+	e.Sinks = r.Sinks
+	e.Obs = r.Obs
+	name := r.Name
+	if name == "" {
+		name = r.Suite.Name
+	}
+	r.mon = core.NewMonitor(e, name)
+	if mem, ok := e.Cache.(*runner.MemoryCache[*core.Result]); ok {
+		mem.Instrument(r.mon.Registry(), "cache.network.mem")
+	}
+	if r.OnExperiment != nil {
+		if err := r.OnExperiment(e); err != nil {
+			return nil, err
+		}
+	}
+	base, err := e.Baseline()
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(r.stdout(), "attack-free baseline accuracy: %.2f%% (%d images)\n", 100*base, images)
+	r.exp = e
+	return e, nil
+}
+
+// Run interprets the suite. only, when non-empty, restricts execution
+// to the listed entry IDs (which must all exist). After the last entry
+// the trained-network count is printed — the number a warm disk cache
+// drives to zero.
+func (r *Runner) Run(only []string) error {
+	if err := r.Suite.Validate(); err != nil {
+		return err
+	}
+	want := map[string]bool{}
+	for _, id := range only {
+		found := false
+		for i := range r.Suite.Entries {
+			if r.Suite.Entries[i].ID == id {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("suite: unknown entry id %q", id)
+		}
+		want[id] = true
+	}
+	for i := range r.Suite.Entries {
+		e := &r.Suite.Entries[i]
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		fmt.Fprintf(r.stdout(), "\n===== %s =====\n", e.ID)
+		if e.Title != "" {
+			fmt.Fprintln(r.stdout(), e.Title)
+		}
+		if e.Note != "" {
+			fmt.Fprintln(r.stdout(), e.Note)
+		}
+		if err := r.runEntry(e); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+	}
+	if r.exp != nil {
+		// The count the disk cache exists to drive to zero: a repeated
+		// run against a warm -cache-dir must print 0.
+		fmt.Fprintf(r.stdout(), "\ntrained networks: %d\n", r.exp.TrainCount())
+	}
+	return nil
+}
+
+func (r *Runner) runEntry(e *Entry) error {
+	switch {
+	case e.Waveform != nil:
+		return r.runWaveform(e)
+	case len(e.Circuit) > 0:
+		if err := r.runCircuit(e); err != nil {
+			return err
+		}
+		if e.Scenario != nil {
+			// The combined form: the circuit series owned the output;
+			// the scenario replay is print-only.
+			return r.runScenario(e.Scenario, nil)
+		}
+		return nil
+	case e.Scenario != nil:
+		return r.runScenario(e.Scenario, e.Output)
+	case len(e.WeightFaults) > 0:
+		return r.runWeightFaults(e)
+	case len(e.LearningRateFaults) > 0:
+		return r.runLearningRateFaults(e)
+	case e.Detection != nil:
+		return r.runDetection(e)
+	case e.Coverage != nil:
+		return r.runCoverage(e)
+	case e.Overhead != nil:
+		return r.runOverhead(e)
+	}
+	return fmt.Errorf("empty entry")
+}
+
+// writeOut writes an entry's artifact under its own CSV name; entries
+// without an output spec are print-only.
+func (r *Runner) writeOut(out *OutputSpec, rows [][]float64) error {
+	if out == nil {
+		return nil
+	}
+	return r.csv(out, out.CSV, rows)
+}
+
+// csv writes one artifact in the repo's established layout: the header
+// line, then %g-formatted comma-joined rows — the float-value identity
+// that makes byte identity checkable.
+func (r *Runner) csv(out *OutputSpec, name string, rows [][]float64) error {
+	if out == nil {
+		return nil
+	}
+	if r.OutDir == "" {
+		return fmt.Errorf("entry writes %s but the runner has no output directory", name)
+	}
+	f, err := os.Create(filepath.Join(r.OutDir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintln(f, out.Header)
+	for _, row := range rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = fmt.Sprintf("%g", v)
+		}
+		fmt.Fprintln(f, strings.Join(parts, ","))
+	}
+	return nil
+}
+
+// table prints the rows as a plain text table under the CSV header (or
+// nothing when the entry has no output spec and rows were shown some
+// other way).
+func (r *Runner) table(header string, rows [][]float64) {
+	w := r.stdout()
+	fmt.Fprintln(w, header)
+	for _, row := range rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = fmt.Sprintf("%g", v)
+		}
+		fmt.Fprintln(w, strings.Join(parts, "  "))
+	}
+}
+
+func (r *Runner) runWaveform(e *Entry) error {
+	w := e.Waveform
+	kind, err := xfer.KindByName(w.Neuron)
+	if err != nil {
+		return err
+	}
+	var (
+		res *spice.TranResult
+		vdd float64
+	)
+	if kind == xfer.IAF {
+		n := neuron.NewIAF()
+		vdd = n.VDD
+		res, err = n.Simulate(w.StopS, w.StepS)
+	} else {
+		n := neuron.NewAxonHillock()
+		vdd = n.VDD
+		res, err = n.Simulate(w.StopS, w.StepS)
+	}
+	if err != nil {
+		return err
+	}
+	signals := make([][]float64, len(w.Signals))
+	for i, name := range w.Signals {
+		signals[i] = res.V(name)
+		if signals[i] == nil {
+			return fmt.Errorf("waveform has no signal %q", name)
+		}
+	}
+	if s := w.Summary; s != nil {
+		if err := r.printWaveformSummary(w, s, res, vdd); err != nil {
+			return err
+		}
+	}
+	stride := w.Stride
+	if stride <= 0 {
+		stride = 1
+	}
+	rows := make([][]float64, 0, len(res.Time)/stride)
+	for i := 0; i < len(res.Time); i += stride {
+		row := make([]float64, 1+len(signals))
+		row[0] = res.Time[i]
+		for j, sig := range signals {
+			row[1+j] = sig[i]
+		}
+		rows = append(rows, row)
+	}
+	return r.writeOut(e.Output, rows)
+}
+
+func (r *Runner) printWaveformSummary(w *WaveformSpec, s *WaveformSummary, res *spice.TranResult, vdd float64) error {
+	sig := res.V(s.Signal)
+	if sig == nil {
+		return fmt.Errorf("waveform summary has no signal %q", s.Signal)
+	}
+	level := s.Threshold
+	if s.ThresholdFracVDD != 0 {
+		level = s.ThresholdFracVDD * vdd
+	}
+	switch s.Kind {
+	case "spikes":
+		count := spice.SpikeCount(res.Time, sig, level)
+		period, _ := spice.SpikePeriod(res.Time, sig, level)
+		fmt.Fprintf(r.stdout(), "%s waveform: %d output spikes in %g µs, steady period %.3g µs\n",
+			w.Neuron, count, w.StopS*1e6, period*1e6)
+	case "first-crossing":
+		tts, err := spice.FirstCrossing(res.Time, sig, level, true)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(r.stdout(), "%s waveform: first threshold crossing at %.3g µs, peak %.3f V\n",
+			w.Neuron, tts*1e6, spice.Peak(res.Time, sig, 0, w.StopS))
+	}
+	return nil
+}
+
+func (r *Runner) runCircuit(e *Entry) error {
+	series := make([][]neuron.Point, len(e.Circuit))
+	for i, ref := range e.Circuit {
+		spec, err := ref.Compile()
+		if err != nil {
+			return err
+		}
+		pts, err := r.char().Measure(spec)
+		if err != nil {
+			return err
+		}
+		series[i] = pts
+	}
+	if e.Output == nil {
+		return nil
+	}
+	rows := make([][]float64, len(series[0]))
+	for i := range rows {
+		row := make([]float64, len(e.Output.Columns))
+		for j, c := range e.Output.Columns {
+			row[j] = columnValue(c, series, i)
+		}
+		rows[i] = row
+	}
+	r.table(e.Output.Header, rows)
+	return r.csv(e.Output, e.Output.CSV, rows)
+}
+
+// columnValue computes one circuit CSV cell; the specs were validated
+// in-range at load time.
+func columnValue(c ColumnSpec, series [][]neuron.Point, row int) float64 {
+	scale := c.Scale
+	if scale == 0 {
+		scale = 1
+	}
+	p := series[c.Series][row]
+	switch c.From {
+	case "x":
+		return p.X * scale
+	case "y":
+		return p.Y * scale
+	case "delta-pc":
+		ref := c.Series
+		if c.RefSeries != nil {
+			ref = *c.RefSeries
+		}
+		return neuron.PercentChange(p.Y, series[ref][c.RefIndex].Y)
+	case "anchor-pc":
+		return c.Anchor.Percent(p.X)
+	}
+	return 0
+}
+
+func (r *Runner) runScenario(spec *ScenarioSpec, out *OutputSpec) error {
+	scn, err := spec.Compile()
+	if err != nil {
+		return err
+	}
+	e, err := r.Experiment()
+	if err != nil {
+		return err
+	}
+	pts, err := e.RunScenario(scn)
+	if err != nil {
+		return err
+	}
+	w := r.stdout()
+	for _, p := range pts {
+		col := "undefended"
+		if p.Defense != "" {
+			col = p.Defense
+		}
+		coord := fmt.Sprintf("Δ%+g%%/%g%%", p.ScalePc, p.FractionPc)
+		if scn.Attack == core.Attack5 {
+			coord = fmt.Sprintf("VDD=%.2f", p.VDD)
+		}
+		line := fmt.Sprintf("  %-12s %-28s accuracy %.2f%% (%+.2f%%)",
+			coord, col, 100*p.Result.Accuracy, p.Result.RelChangePc)
+		if scn.Detector != nil {
+			state := "silent"
+			if p.Detected {
+				state = "ATTACK DETECTED"
+			}
+			line += "  detector: " + state
+		}
+		fmt.Fprintln(w, line)
+	}
+	if worst, ok := core.WorstCase(pts); ok && len(pts) > 1 {
+		fmt.Fprintf(w, "worst case: %+.2f%% at Δthr=%+.0f%%, fraction=%.0f%%\n",
+			worst.Result.RelChangePc, worst.ScalePc, worst.FractionPc)
+	}
+	if out == nil {
+		return nil
+	}
+	rows := make([][]float64, len(pts))
+	for i, p := range pts {
+		row := make([]float64, len(out.Fields))
+		for j, f := range out.Fields {
+			row[j] = scenarioField(f, i, p)
+		}
+		rows[i] = row
+	}
+	return r.csv(out, out.CSV, rows)
+}
+
+func scenarioField(name string, index int, p core.SweepPoint) float64 {
+	switch name {
+	case "column_index":
+		return float64(index)
+	case "scale_pc":
+		return p.ScalePc
+	case "fraction_pc":
+		return p.FractionPc
+	case "vdd_v":
+		return p.VDD
+	case "accuracy_pc":
+		return 100 * p.Result.Accuracy
+	case "rel_change_pc":
+		return p.Result.RelChangePc
+	case "detected":
+		if p.Detected {
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+func (r *Runner) runWeightFaults(en *Entry) error {
+	e, err := r.Experiment()
+	if err != nil {
+		return err
+	}
+	specs := make([]core.WeightFaultSpec, len(en.WeightFaults))
+	for i, w := range en.WeightFaults {
+		specs[i] = w.compile()
+	}
+	results, err := e.RunWeightFaults(specs)
+	if err != nil {
+		return err
+	}
+	rows := make([][]float64, len(results))
+	for i, res := range results {
+		s := specs[i]
+		fmt.Fprintf(r.stdout(), "  scale %.2f fraction %.2f cadence %3d: accuracy %.2f%% (%+.2f%%)\n",
+			s.Scale, s.Fraction, s.EveryNImages, 100*res.Accuracy, res.RelChangePc)
+		if en.Output != nil {
+			row := make([]float64, len(en.Output.Fields))
+			for j, f := range en.Output.Fields {
+				switch f {
+				case "scale":
+					row[j] = s.Scale
+				case "fraction":
+					row[j] = s.Fraction
+				case "cadence_images":
+					row[j] = float64(s.EveryNImages)
+				case "seed":
+					row[j] = float64(s.Seed)
+				case "accuracy_pc":
+					row[j] = 100 * res.Accuracy
+				case "rel_change_pc":
+					row[j] = res.RelChangePc
+				}
+			}
+			rows[i] = row
+		}
+	}
+	if en.Output == nil {
+		return nil
+	}
+	return r.csv(en.Output, en.Output.CSV, rows)
+}
+
+func (r *Runner) runLearningRateFaults(en *Entry) error {
+	e, err := r.Experiment()
+	if err != nil {
+		return err
+	}
+	specs := make([]core.LearningRateFaultSpec, len(en.LearningRateFaults))
+	for i, l := range en.LearningRateFaults {
+		specs[i] = l.compile()
+	}
+	results, err := e.RunLearningRateFaults(specs)
+	if err != nil {
+		return err
+	}
+	rows := make([][]float64, len(results))
+	for i, res := range results {
+		fmt.Fprintf(r.stdout(), "  ×%.2f: accuracy %.2f%% (%+.2f%%)\n",
+			specs[i].Scale, 100*res.Accuracy, res.RelChangePc)
+		if en.Output != nil {
+			row := make([]float64, len(en.Output.Fields))
+			for j, f := range en.Output.Fields {
+				switch f {
+				case "scale":
+					row[j] = specs[i].Scale
+				case "accuracy_pc":
+					row[j] = 100 * res.Accuracy
+				case "rel_change_pc":
+					row[j] = res.RelChangePc
+				}
+			}
+			rows[i] = row
+		}
+	}
+	if en.Output == nil {
+		return nil
+	}
+	return r.csv(en.Output, en.Output.CSV, rows)
+}
+
+func (r *Runner) runDetection(en *Entry) error {
+	for _, name := range en.Detection.Neurons {
+		kind, err := xfer.KindByName(name)
+		if err != nil {
+			return err
+		}
+		det := defense.NewDetector(kind)
+		fmt.Fprintf(r.stdout(), "dummy %v (window %.0f ms, trigger ±%.0f%%):\n", kind, det.WindowMs, det.ThresholdPc)
+		var rows [][]float64
+		for _, v := range det.DetectionSweep(en.Detection.VDDs) {
+			fmt.Fprintln(r.stdout(), "  ", v)
+			detected := 0.0
+			if v.Detected {
+				detected = 1
+			}
+			rows = append(rows, []float64{v.VDD, float64(v.Count), v.DeviationPc, detected})
+			rec := neuron.PointRecord(fmt.Sprintf("dummy-%v-detection", kind),
+				neuron.Point{X: v.VDD, Y: v.DeviationPc})
+			for _, s := range r.Sinks {
+				if err := s.Write(rec); err != nil {
+					return err
+				}
+			}
+		}
+		if en.Output != nil {
+			name := strings.ReplaceAll(en.Output.CSV, "{neuron}", kind.String())
+			if err := r.csv(en.Output, name, rows); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (r *Runner) runCoverage(en *Entry) error {
+	e, err := r.Experiment()
+	if err != nil {
+		return err
+	}
+	kind, err := xfer.KindByName(en.Coverage.Neuron)
+	if err != nil {
+		return err
+	}
+	det := defense.NewDetector(kind)
+	rows, err := defense.DetectionCoverage(e, det, en.Coverage.VDDs)
+	if err != nil {
+		return err
+	}
+	var csvRows [][]float64
+	for _, row := range rows {
+		fmt.Fprintln(r.stdout(), "  ", row)
+		detected := 0.0
+		if row.Verdict.Detected {
+			detected = 1
+		}
+		csvRows = append(csvRows, []float64{row.VDD, row.RelChangePc, row.Verdict.DeviationPc, detected})
+	}
+	blind := defense.UncoveredDamage(rows, en.Coverage.DamageThresholdPc)
+	fmt.Fprintf(r.stdout(), "blind spots (damage beyond %g%%, undetected): %d\n",
+		en.Coverage.DamageThresholdPc, len(blind))
+	return r.writeOut(en.Output, csvRows)
+}
+
+func (r *Runner) runOverhead(en *Entry) error {
+	o := en.Overhead
+	fmt.Fprintf(r.stdout(), "defense overheads for a %d-neuron implementation (%d/layer):\n", o.Neurons, o.PerLayer)
+	var rows [][]float64
+	for i, row := range power.OverheadTable(o.Neurons, o.PerLayer) {
+		fmt.Fprintln(r.stdout(), "  ", row)
+		rows = append(rows, []float64{float64(i), row.PowerPc, row.AreaPc})
+	}
+	if len(o.Amortize) > 0 {
+		fmt.Fprintln(r.stdout(), "bandgap area amortization at larger scales:")
+		for _, n := range o.Amortize {
+			base := power.BaselineSystem(n)
+			sys := power.DefendedSystem(n, power.DefenseSelection{SharedBandgap: true})
+			fmt.Fprintf(r.stdout(), "   %6d neurons: area %+6.2f%%\n", n,
+				100*(sys.AreaUm2()-base.AreaUm2())/base.AreaUm2())
+		}
+	}
+	return r.writeOut(en.Output, rows)
+}

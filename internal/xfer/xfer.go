@@ -127,6 +127,20 @@ func (k NeuronKind) String() string {
 	return "axon-hillock"
 }
 
+// KindByName parses a neuron-circuit name as written in declarative
+// scenario/suite files: "ah" or "axon-hillock" for the Axon Hillock,
+// "iaf" for the integrate-and-fire circuit.
+func KindByName(name string) (NeuronKind, error) {
+	switch name {
+	case "ah", "axon-hillock":
+		return AxonHillock, nil
+	case "iaf":
+		return IAF, nil
+	default:
+		return 0, fmt.Errorf("xfer: unknown neuron kind %q (want ah|axon-hillock|iaf)", name)
+	}
+}
+
 // DriverAmplitudeRatio maps VDD (V) to the current-driver output spike
 // amplitude as a fraction of nominal (Fig. 5b: 136 nA at 0.8 V, 200 nA
 // at 1.0 V, 264 nA at 1.2 V, i.e. ∓32%).

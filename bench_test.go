@@ -606,9 +606,9 @@ func BenchmarkTrainImage(b *testing.B) {
 }
 
 // BenchmarkTrainImageStream measures the true per-image training cost
-// at workers=1 — streaming encoding fused with the network run, the
-// path the campaign jobs execute (before this engine: materialized
-// Encode followed by RunImage).
+// at workers=1 — streaming skip-sampled encoding fused with the
+// learning network run and dirty-column normalization, the serial
+// path TrainWith executes per image.
 func BenchmarkTrainImageStream(b *testing.B) {
 	cfg := snn.DefaultConfig()
 	n, err := snn.NewDiehlCook(cfg)
@@ -620,7 +620,36 @@ func BenchmarkTrainImageStream(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		enc.Begin(&images[i%len(images)])
-		n.RunImageStream(enc.EncodeStep, true)
+		n.TrainImageStream(enc.EncodeStep)
+	}
+}
+
+// BenchmarkTrainMinibatch measures the minibatch learning pass end to
+// end (TrainOptions.Batch > 1): per-image cost of training 16 images
+// through the batched engine at several batch sizes and pool widths,
+// including clone sync, delta extraction, and the in-order merge.
+func BenchmarkTrainMinibatch(b *testing.B) {
+	images := mnist.Synthetic(16, 3)
+	for _, bw := range []struct{ batch, workers int }{
+		{4, 1}, {4, 4}, {8, 4},
+	} {
+		b.Run(fmt.Sprintf("batch=%d/workers=%d", bw.batch, bw.workers), func(b *testing.B) {
+			cfg := snn.DefaultConfig()
+			n, err := snn.NewDiehlCook(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			enc := encoding.NewPoissonEncoder(8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := snn.TrainWith(n, images, enc, snn.TrainOptions{
+					Batch: bw.batch, Workers: bw.workers,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(images))*float64(b.N)/b.Elapsed().Seconds(), "images/s")
+		})
 	}
 }
 

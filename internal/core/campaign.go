@@ -38,6 +38,14 @@ type Experiment struct {
 	// width 1 each). ≤0 uses all CPUs (runtime.GOMAXPROCS). Results
 	// are identical at every width.
 	Workers int
+	// Batch is the STDP minibatch width (snn.TrainOptions.Batch): ≤1
+	// trains serially (the paper's protocol), >1 presents each group of
+	// Batch consecutive images against frozen parameters and merges the
+	// updates deterministically. Unlike Workers, Batch changes what is
+	// computed, so it is part of the experiment fingerprint — results
+	// trained at different batch widths never alias in the cache. Must
+	// be fixed before the first Run/Baseline/sweep call.
+	Batch int
 	// OnProgress, when non-nil, observes each completed sweep cell.
 	OnProgress func(runner.Progress)
 	// Sinks receive one record per sweep point, streamed in sweep
@@ -94,13 +102,19 @@ type Result struct {
 }
 
 // fingerprint content-addresses the experiment: the image corpus, the
-// network configuration, the encoder seed and the training-protocol
+// network configuration, the encoder seed, the training-protocol
 // version (snn.ProtocolVersion, so caches written under older
-// semantics miss rather than serve pre-engine values). Everything a
-// trained result depends on besides the fault plan.
+// semantics miss rather than serve pre-engine values) and the STDP
+// minibatch width (normalized so the equivalent serial widths 0 and 1
+// share an address). Everything a trained result depends on besides
+// the fault plan.
 func (e *Experiment) fingerprint() string {
 	e.fpOnce.Do(func() {
-		e.fp = runner.KeyOf("experiment", snn.ProtocolVersion, e.Cfg, e.EncSeed, len(e.Images), mnist.Digest(e.Images))
+		batch := e.Batch
+		if batch < 1 {
+			batch = 1
+		}
+		e.fp = runner.KeyOf("experiment", snn.ProtocolVersion, e.Cfg, e.EncSeed, len(e.Images), mnist.Digest(e.Images), batch)
 	})
 	return e.fp
 }
@@ -132,7 +146,7 @@ func (e *Experiment) train(plan *FaultPlan, evalWorkers int) (*snn.TrainResult, 
 		defer revert()
 	}
 	enc := encoding.NewPoissonEncoder(e.EncSeed)
-	return snn.TrainWith(n, e.Images, enc, snn.TrainOptions{Workers: evalWorkers, Obs: e.Obs})
+	return snn.TrainWith(n, e.Images, enc, snn.TrainOptions{Workers: evalWorkers, Batch: e.Batch, Obs: e.Obs})
 }
 
 // TrainCount reports how many networks the experiment has trained so

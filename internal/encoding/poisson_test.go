@@ -2,6 +2,7 @@ package encoding
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 
 	"snnfi/internal/mnist"
@@ -117,35 +118,44 @@ func avg(xs []int) float64 {
 }
 
 // TestStreamMatchesEncode pins the streaming Begin/EncodeStep path
-// against the materialized Encode: for the same seed both must consume
-// the random stream identically and produce bit-identical spike trains.
+// against the materialized Encode, under both samplers: for the same
+// seed both must consume the random stream identically and produce
+// bit-identical spike trains.
 func TestStreamMatchesEncode(t *testing.T) {
 	img := testImage()
 	const steps = 300
-	mat := NewPoissonEncoder(13).Encode(img, steps)
-	stream := NewPoissonEncoder(13)
-	stream.Begin(img)
-	for tt := 0; tt < steps; tt++ {
-		got := stream.EncodeStep()
-		want := mat[tt]
-		if len(got) != len(want) {
-			t.Fatalf("step %d: %d spikes streamed, %d materialized", tt, len(got), len(want))
-		}
-		for k := range got {
-			if got[k] != want[k] {
-				t.Fatalf("step %d spike %d: pixel %d streamed, %d materialized", tt, k, got[k], want[k])
+	for _, mode := range []Sampling{SkipSampling, ReferenceSampling} {
+		mat := NewPoissonEncoder(13)
+		mat.Mode = mode
+		train := mat.Encode(img, steps)
+		stream := NewPoissonEncoder(13)
+		stream.Mode = mode
+		stream.Begin(img)
+		for tt := 0; tt < steps; tt++ {
+			got := stream.EncodeStep()
+			want := train[tt]
+			if len(got) != len(want) {
+				t.Fatalf("mode %d step %d: %d spikes streamed, %d materialized", mode, tt, len(got), len(want))
+			}
+			for k := range got {
+				if got[k] != want[k] {
+					t.Fatalf("mode %d step %d spike %d: pixel %d streamed, %d materialized", mode, tt, k, got[k], want[k])
+				}
 			}
 		}
 	}
 }
 
 // TestStreamStepAllocationFree verifies EncodeStep allocates nothing
-// once its spike buffer has warmed up.
+// once its buffers have warmed up. The skip-sampler's ring buckets warm
+// over a full ring cycle (event capacity accumulates as gaps land), so
+// the warmup covers more than ringSize steps; the test is deterministic
+// for a fixed seed.
 func TestStreamStepAllocationFree(t *testing.T) {
 	enc := NewPoissonEncoder(3)
 	img := testImage()
 	enc.Begin(img)
-	for i := 0; i < 50; i++ { // warm the buffer
+	for i := 0; i < 600; i++ { // warm buffers over two-plus ring cycles
 		enc.EncodeStep()
 	}
 	allocs := testing.AllocsPerRun(200, func() {
@@ -153,6 +163,178 @@ func TestStreamStepAllocationFree(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("EncodeStep allocates %.1f objects per step, want 0", allocs)
+	}
+}
+
+// TestReferenceSamplingIsLegacyStream proves ReferenceSampling is
+// selectable and reproduces the pre-v3 draw-per-pixel algorithm
+// bit-exactly: one uniform per nonzero-probability pixel per step, in
+// pixel order, spike iff U < p. The legacy algorithm is spelled out
+// inline so a regression in either the mode switch or the reference
+// path fails against first principles, not against itself.
+func TestReferenceSamplingIsLegacyStream(t *testing.T) {
+	img := testImage()
+	const steps, seed = 200, 41
+	enc := NewPoissonEncoder(seed)
+	enc.Mode = ReferenceSampling
+	got := enc.Encode(img, steps)
+
+	rng := rand.New(rand.NewSource(seed))
+	scale := 128.0 / 1000 / 255
+	var idx []int
+	var probs []float64
+	for i, px := range img.Pixels {
+		if p := float64(px) * scale; p > 0 {
+			idx = append(idx, i)
+			probs = append(probs, p)
+		}
+	}
+	for tt := 0; tt < steps; tt++ {
+		var want []int
+		for k, p := range probs {
+			if rng.Float64() < p {
+				want = append(want, idx[k])
+			}
+		}
+		if len(got[tt]) != len(want) {
+			t.Fatalf("step %d: %d spikes, legacy draws %d", tt, len(got[tt]), len(want))
+		}
+		for j := range want {
+			if got[tt][j] != want[j] {
+				t.Fatalf("step %d spike %d: pixel %d, legacy %d", tt, j, got[tt][j], want[j])
+			}
+		}
+	}
+}
+
+// TestSkipSamplingAscendingOrder: the skip-sampler's event ring gathers
+// spikes scheduled from different past steps; every emitted step must
+// still list pixels in strictly ascending order (the network kernels
+// and the materialized/streamed bit-identity both rely on it).
+func TestSkipSamplingAscendingOrder(t *testing.T) {
+	enc := NewPoissonEncoder(17)
+	enc.Begin(testImage())
+	for tt := 0; tt < 2000; tt++ {
+		step := enc.EncodeStep()
+		for k := 1; k < len(step); k++ {
+			if step[k] <= step[k-1] {
+				t.Fatalf("step %d not ascending: %v", tt, step)
+			}
+		}
+	}
+}
+
+// TestSkipSamplingCertainPixel: probability ≥ 1 (rate saturating the
+// timestep) must spike every step under the skip-sampler — the
+// invLnQ = 0 sentinel path.
+func TestSkipSamplingCertainPixel(t *testing.T) {
+	var img mnist.Image
+	img.Pixels[0] = 255
+	img.Pixels[1] = 10
+	enc := NewPoissonEncoder(5)
+	enc.MaxRate = 10000 // p = 255/255 · 10000/1000 = 10 ≥ 1 for pixel 0
+	const steps = 500
+	counts := CountSpikes(enc.Encode(&img, steps), len(img.Pixels))
+	if counts[0] != steps {
+		t.Fatalf("certain pixel spiked %d/%d steps", counts[0], steps)
+	}
+	if counts[1] == 0 || counts[1] == steps {
+		t.Fatalf("sub-certain pixel count %d implausible", counts[1])
+	}
+}
+
+// statImage spans the probability range the statistical-equivalence
+// test needs: saturated (p=0.128), half, dim, and a near-silent class
+// whose mean gap (~2000 steps) far exceeds the ring's skip horizon, so
+// the deferral/resample path carries essentially all of its spikes.
+func statImage() *mnist.Image {
+	var img mnist.Image
+	for i := range img.Pixels {
+		switch {
+		case i < 50:
+			img.Pixels[i] = 255
+		case i < 100:
+			img.Pixels[i] = 128
+		case i < 150:
+			img.Pixels[i] = 16
+		case i < 200:
+			img.Pixels[i] = 1
+		}
+	}
+	return &img
+}
+
+// TestSkipSamplingMatchesReferenceStatistics is the statistical
+// contract behind the protocol-v3 encoder: over ≥10⁵ steps, the
+// skip-sampler's per-pixel spike counts must match the Bernoulli
+// law the reference sampler realizes — class-pooled means within 5σ of
+// n·p, per-pixel counts within 6σ individually, and the across-pixel
+// count variance consistent with binomial (the gap law collapses wrong
+// variance long before it moves the mean). The reference sampler runs
+// the same image as the measuring stick for the pooled means.
+func TestSkipSamplingMatchesReferenceStatistics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10⁵-step distributional test")
+	}
+	img := statImage()
+	const steps = 120000
+	classes := []struct{ lo, hi int }{{0, 50}, {50, 100}, {100, 150}, {150, 200}}
+
+	count := func(mode Sampling, seed int64) []int {
+		enc := NewPoissonEncoder(seed)
+		enc.Mode = mode
+		enc.Begin(img)
+		counts := make([]int, len(img.Pixels))
+		for tt := 0; tt < steps; tt++ {
+			for _, i := range enc.EncodeStep() {
+				counts[i]++
+			}
+		}
+		return counts
+	}
+	skip := count(SkipSampling, 101)
+	ref := count(ReferenceSampling, 202)
+	probs := NewPoissonEncoder(1).Probabilities(img)
+
+	for _, c := range classes {
+		p := probs[c.lo]
+		n := float64(c.hi-c.lo) * steps // pooled Bernoulli trials per class
+		mean, sd := n*p, math.Sqrt(n*p*(1-p))
+		var skipN, refN int
+		for i := c.lo; i < c.hi; i++ {
+			skipN += skip[i]
+			refN += ref[i]
+		}
+		if d := math.Abs(float64(skipN) - mean); d > 5*sd {
+			t.Errorf("class p=%.5f: skip pooled count %d, want %.0f ± %.0f (5σ)", p, skipN, mean, 5*sd)
+		}
+		if d := math.Abs(float64(skipN) - float64(refN)); d > 7*sd {
+			t.Errorf("class p=%.5f: skip %d vs reference %d differ beyond 7σ=%.0f", p, skipN, refN, 7*sd)
+		}
+
+		// Per-pixel means and across-pixel variance against binomial.
+		pm, psd := float64(steps)*p, math.Sqrt(float64(steps)*p*(1-p))
+		var sum, sumsq float64
+		for i := c.lo; i < c.hi; i++ {
+			x := float64(skip[i])
+			if d := math.Abs(x - pm); d > 6*psd+1 {
+				t.Errorf("pixel %d (p=%.5f): %d spikes, want %.1f ± %.1f (6σ)", i, p, skip[i], pm, 6*psd)
+			}
+			sum += x
+			sumsq += x * x
+		}
+		m := float64(c.hi - c.lo)
+		sampleVar := (sumsq - sum*sum/m) / (m - 1)
+		wantVar := float64(steps) * p * (1 - p)
+		// χ²₄₉-scale noise on a 50-pixel sample variance: ±60% is ~3σ.
+		if sampleVar < 0.4*wantVar || sampleVar > 1.6*wantVar {
+			t.Errorf("class p=%.5f: count variance %.1f, binomial predicts %.1f", p, sampleVar, wantVar)
+		}
+	}
+	for i := 200; i < len(img.Pixels); i++ {
+		if skip[i] != 0 {
+			t.Fatalf("dark pixel %d spiked under skip-sampling", i)
+		}
 	}
 }
 

@@ -104,38 +104,99 @@ func TestEvaluateParallelBitIdentical(t *testing.T) {
 }
 
 // TestTrainWorkerCountInvariant: a whole training cell — learning pass
-// plus parallel assignment pass — produces identical results at any
-// assignment-pass width.
+// (serial or minibatch) plus parallel assignment pass — produces
+// bit-identical results at any worker count, for every batch size. The
+// learning pass is covered through the trained weights and thresholds:
+// if any STDP update or merge depended on scheduling, W or Theta would
+// differ and so, in general, would every downstream count. Run under
+// -race in CI, where the minibatch pool's clone-sync and delta-merge
+// paths are exercised concurrently.
 func TestTrainWorkerCountInvariant(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.NExc, cfg.NInh = 16, 16
 	cfg.Steps = 60
 	images := mnist.Synthetic(30, 7)
 
-	run := func(workers int) *TrainResult {
+	run := func(workers, batch int) (*TrainResult, *DiehlCook) {
 		n, err := NewDiehlCook(cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := TrainWith(n, images, encoding.NewPoissonEncoder(42), TrainOptions{Workers: workers})
+		res, err := TrainWith(n, images, encoding.NewPoissonEncoder(42),
+			TrainOptions{Workers: workers, Batch: batch})
 		if err != nil {
 			t.Fatal(err)
 		}
-		return res
+		return res, n
 	}
-	ref := run(1)
-	for _, w := range []int{2, 4} {
-		res := run(w)
-		if res.Accuracy != ref.Accuracy || res.TotalSpikes != ref.TotalSpikes {
-			t.Fatalf("workers=%d: accuracy/spikes %v/%v, want %v/%v",
-				w, res.Accuracy, res.TotalSpikes, ref.Accuracy, ref.TotalSpikes)
-		}
-		for j := range ref.Assignments {
-			if res.Assignments[j] != ref.Assignments[j] {
-				t.Fatalf("workers=%d: assignment of neuron %d differs", w, j)
+	for _, batch := range []int{1, 2, 8} {
+		ref, refNet := run(1, batch)
+		for _, w := range []int{2, 4} {
+			res, net := run(w, batch)
+			if res.Accuracy != ref.Accuracy || res.TotalSpikes != ref.TotalSpikes {
+				t.Fatalf("workers=%d batch=%d: accuracy/spikes %v/%v, want %v/%v",
+					w, batch, res.Accuracy, res.TotalSpikes, ref.Accuracy, ref.TotalSpikes)
+			}
+			for j := range ref.Assignments {
+				if res.Assignments[j] != ref.Assignments[j] {
+					t.Fatalf("workers=%d batch=%d: assignment of neuron %d differs", w, batch, j)
+				}
+			}
+			sameCounts(t, "train", res.PerImage, ref.PerImage)
+			for e, want := range refNet.W.Data {
+				if net.W.Data[e] != want {
+					t.Fatalf("workers=%d batch=%d: trained weight %d differs: %g != %g",
+						w, batch, e, net.W.Data[e], want)
+				}
+			}
+			for j, want := range refNet.Exc.Theta {
+				if net.Exc.Theta[j] != want {
+					t.Fatalf("workers=%d batch=%d: trained theta %d differs", w, batch, j)
+				}
 			}
 		}
-		sameCounts(t, "train", res.PerImage, ref.PerImage)
+	}
+}
+
+// TestTrainBatchSemantics pins the batch-size contract: Batch ≤ 1 and
+// the zero value are the serial protocol (identical results), while a
+// larger batch is a genuinely different — but internally deterministic
+// — computation (images in one batch see frozen weights rather than
+// each other's updates).
+func TestTrainBatchSemantics(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NExc, cfg.NInh = 16, 16
+	cfg.Steps = 60
+	images := mnist.Synthetic(24, 3)
+
+	run := func(batch int) *DiehlCook {
+		n, err := NewDiehlCook(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := TrainWith(n, images, encoding.NewPoissonEncoder(7),
+			TrainOptions{Workers: 2, Batch: batch}); err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	serial := run(0)
+	one := run(1)
+	for e := range serial.W.Data {
+		if one.W.Data[e] != serial.W.Data[e] {
+			t.Fatalf("Batch=1 diverged from Batch=0 at weight %d", e)
+		}
+	}
+	batched := run(4)
+	same := true
+	for e := range serial.W.Data {
+		if batched.W.Data[e] != serial.W.Data[e] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("Batch=4 produced bitwise-serial weights; frozen-batch semantics not in effect")
 	}
 }
 
@@ -352,6 +413,44 @@ func TestEvaluateParallelSpeedup(t *testing.T) {
 	parallel := measure(4)
 	if float64(serial)/float64(parallel) < 3 {
 		t.Fatalf("4 workers took %v, serial took %v — want ≥3× speedup", parallel, serial)
+	}
+}
+
+// TestTrainMinibatchParallelSpeedup is the learning pass's wall-clock
+// bar: with Batch 8 on a ≥4-core machine, 4 workers must train ≥1.5×
+// faster than the same minibatch protocol at width 1 (presentations
+// within a batch are independent; the serial fraction is the per-batch
+// sync + merge). Results are bit-identical either way
+// (TestTrainWorkerCountInvariant); this only times them. Skipped in
+// -short and on small hosts, like the other tiers' speedup tests.
+func TestTrainMinibatchParallelSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test skipped in -short mode")
+	}
+	if runtime.GOMAXPROCS(0) < 4 {
+		t.Skipf("need ≥4 CPUs for a CPU-bound speedup, have %d", runtime.GOMAXPROCS(0))
+	}
+	cfg := DefaultConfig()
+	cfg.NExc, cfg.NInh = 40, 40
+	cfg.Steps = 150
+	images := mnist.Synthetic(128, 3)
+	measure := func(workers int) time.Duration {
+		n, err := NewDiehlCook(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc := encoding.NewPoissonEncoder(42)
+		start := time.Now()
+		if _, err := TrainWith(n, images, enc, TrainOptions{Batch: 8, Workers: workers}); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	measure(4) // warm pools and decay tables
+	serial := measure(1)
+	parallel := measure(4)
+	if float64(serial)/float64(parallel) < 1.5 {
+		t.Fatalf("4 workers took %v, width 1 took %v — want ≥1.5× speedup", parallel, serial)
 	}
 }
 

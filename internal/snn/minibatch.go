@@ -1,0 +1,244 @@
+package snn
+
+// Minibatch STDP training engine (train-protocol-v3, TrainOptions.Batch
+// > 1).
+//
+// The serial Diehl&Cook protocol is order-dependent: image i's STDP
+// runs against the weights image i−1 left behind, so the learning pass
+// cannot be parallelized without changing what is computed. Minibatch
+// training changes it deliberately and deterministically: each group of
+// Batch consecutive images is presented against the *same* frozen
+// snapshot of the plastic parameters (weights and excitatory adaptive
+// thresholds, normalized once at the start of the batch), each image's
+// parameter updates are computed independently, and the per-image
+// updates are merged in image order:
+//
+//	W      = clamp( W_frozen + Σ_i (W_i − W_frozen), 0, WMax )
+//	Theta  = Theta_frozen + Σ_i (Theta_i − Theta_frozen)
+//
+// Independence is what buys parallelism: the batch's presentations run
+// concurrently on a pool of worker clones, and because every image's
+// delta depends only on (frozen parameters, image, its presentation
+// seed ImageSeed(base, i)) — never on scheduling — and the merge folds
+// deltas in image index order, the trained result is bit-identical at
+// every worker count and completion order. Batch = 1 does not route
+// here: the serial path applies updates in place, and floating point
+// makes frozen + (trained − frozen) differ from trained in the last
+// ulp, so the batch engine at width 1 would not reproduce it.
+//
+// A per-image weight delta is sparse: STDP only touches synapses whose
+// pre and post traces are nonzero, i.e. rows in the image's final
+// preActive support and columns in its final postActive support (both
+// supersets of the touched set — depression writes inputSpikes ×
+// postActive rows/cols and every spiked pixel enters preActive the same
+// step; potentiation writes preActive × excSpikes and excSpikes joins
+// postActive before the learn pass). Extraction walks that submatrix,
+// records entries whose value moved, and restores them to the frozen
+// values — returning the clone to the snapshot for its next image
+// without a full-matrix copy. Theta moves densely (it decays every
+// driven step), so its delta is a dense vector.
+
+import (
+	"fmt"
+	"runtime"
+
+	"snnfi/internal/encoding"
+	"snnfi/internal/mnist"
+	"snnfi/internal/runner"
+	"snnfi/internal/tensor"
+)
+
+// trainDelta is one image's contribution to its minibatch.
+type trainDelta struct {
+	wIdx   []int32       // flattened W indices whose weight changed
+	wDelta []float64     // matching (presented − frozen) differences
+	dTheta tensor.Vector // dense excitatory theta delta
+	cols   []int         // STDP-touched columns, for dirty normalization
+}
+
+// trainClone is one training worker's private network + encoder. Its
+// plastic parameters track the master's batch snapshot: sync performs
+// the full copy when the master has merged a batch since the clone last
+// looked, and present restores the touched entries afterwards, so
+// within a batch the clone stays on the snapshot without re-copying.
+type trainClone struct {
+	net     *DiehlCook
+	enc     *encoding.PoissonEncoder
+	version uint64 // master merge counter the clone's parameters mirror
+}
+
+// newTrainClone builds a worker clone of master: same configuration and
+// fault hooks, own weight/state storage. Plastic parameters are synced
+// separately (version 0 forces the first sync).
+func newTrainClone(master *DiehlCook, enc *encoding.PoissonEncoder) (*trainClone, error) {
+	cfg := master.Cfg
+	exc, err := NewLIFGroup(master.Exc.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	inh, err := NewLIFGroup(master.Inh.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	copy(exc.ThreshScale, master.Exc.ThreshScale)
+	copy(exc.InputGain, master.Exc.InputGain)
+	copy(inh.ThreshScale, master.Inh.ThreshScale)
+	copy(inh.InputGain, master.Inh.InputGain)
+	n := &DiehlCook{
+		Cfg:             cfg,
+		W:               tensor.NewMatrix(cfg.NInput, cfg.NExc),
+		Exc:             exc,
+		Inh:             inh,
+		InputDriveScale: master.InputDriveScale,
+		preLastSpike:    make([]int, cfg.NInput),
+		preSeen:         make([]bool, cfg.NInput),
+		postSeen:        make([]bool, cfg.NExc),
+		dirtySeen:       make([]bool, cfg.NExc),
+		driveExc:        tensor.NewVector(cfg.NExc),
+		driveInh:        tensor.NewVector(cfg.NInh),
+	}
+	ce := encoding.NewPoissonEncoder(0)
+	ce.MaxRate, ce.Dt, ce.Mode = enc.MaxRate, enc.Dt, enc.Mode
+	return &trainClone{net: n, enc: ce}, nil
+}
+
+// sync brings the clone's plastic parameters (weights, adaptive
+// thresholds) up to the master's batch snapshot. The master is
+// read-only for the duration of a batch, so concurrent syncs from
+// several clones are safe.
+func (c *trainClone) sync(master *DiehlCook, version uint64) {
+	if c.version == version {
+		return
+	}
+	copy(c.net.W.Data, master.W.Data)
+	copy(c.net.Exc.Theta, master.Exc.Theta)
+	copy(c.net.Inh.Theta, master.Inh.Theta)
+	c.version = version
+}
+
+// present runs one learning presentation of img on the clone, extracts
+// the parameter delta against the master's frozen snapshot, and
+// restores the clone to the snapshot. The delta depends only on the
+// snapshot, the image, and the seed.
+func (c *trainClone) present(master *DiehlCook, img *mnist.Image, seed int64) trainDelta {
+	c.enc.Reseed(seed)
+	c.enc.Begin(img)
+	n := c.net
+	n.presentLearn(c.enc.EncodeStep)
+
+	d := trainDelta{
+		dTheta: make(tensor.Vector, len(n.Exc.Theta)),
+		cols:   append([]int(nil), n.dirtyCols...),
+	}
+	mw, cw := master.W.Data, n.W.Data
+	cols := n.W.Cols
+	for _, i := range n.preActive {
+		base := i * cols
+		for _, j := range n.postActive {
+			e := base + j
+			if cw[e] != mw[e] {
+				d.wIdx = append(d.wIdx, int32(e))
+				d.wDelta = append(d.wDelta, cw[e]-mw[e])
+				cw[e] = mw[e]
+			}
+		}
+	}
+	mt := master.Exc.Theta
+	for j := range d.dTheta {
+		d.dTheta[j] = n.Exc.Theta[j] - mt[j]
+	}
+	copy(n.Exc.Theta, mt)
+	n.clearDirty()
+	return d
+}
+
+// applyDeltas merges a batch's per-image deltas into the master in
+// image order, clamps every touched weight to [0, WMax] (individual
+// updates respect the bounds but their sum may not), and marks the
+// touched columns dirty for the next batch's normalization.
+func applyDeltas(n *DiehlCook, deltas []trainDelta) {
+	wd := n.W.Data
+	for _, d := range deltas {
+		for k, e := range d.wIdx {
+			wd[e] += d.wDelta[k]
+		}
+		n.Exc.Theta.Add(d.dTheta)
+		for _, j := range d.cols {
+			if !n.dirtySeen[j] {
+				n.dirtySeen[j] = true
+				n.dirtyCols = append(n.dirtyCols, j)
+			}
+		}
+	}
+	wmax := n.Cfg.WMax
+	for _, d := range deltas {
+		for _, e := range d.wIdx {
+			if wd[e] < 0 {
+				wd[e] = 0
+			} else if wd[e] > wmax {
+				wd[e] = wmax
+			}
+		}
+	}
+}
+
+// trainMinibatch is the Batch > 1 learning pass of TrainWith: images
+// are grouped into batches of opt.Batch, each batch is normalized,
+// presented in parallel against the frozen parameters, and merged in
+// image order. Results are bit-identical at every opt.Workers.
+func trainMinibatch(n *DiehlCook, images []mnist.Image, enc *encoding.PoissonEncoder, opt TrainOptions) error {
+	batch := opt.Batch
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > batch {
+		workers = batch
+	}
+	clones := make(chan *trainClone, workers)
+	for w := 0; w < workers; w++ {
+		c, err := newTrainClone(n, enc)
+		if err != nil {
+			return err
+		}
+		clones <- c
+	}
+
+	base := enc.Seed()
+	seeds := make([]int64, len(images))
+	for i := range seeds {
+		seeds[i] = ImageSeed(base, i)
+	}
+
+	pool := &runner.Pool[trainDelta]{Workers: workers, Obs: opt.Obs, Name: "snn.stdp"}
+	version := uint64(1)
+	for lo := 0; lo < len(images); lo += batch {
+		lo, hi := lo, min(lo+batch, len(images))
+		n.normalizeDirty()
+		jobs := make([]runner.Job[trainDelta], 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			i := i
+			jobs = append(jobs, runner.Job[trainDelta]{
+				Label: fmt.Sprintf("train image %d", i),
+				Run: func() (trainDelta, error) {
+					c := <-clones
+					defer func() { clones <- c }()
+					c.sync(n, version)
+					return c.present(n, &images[i], seeds[i]), nil
+				},
+			})
+		}
+		deltas, err := pool.Run(jobs)
+		if err != nil {
+			return err
+		}
+		applyDeltas(n, deltas)
+		version++
+		if opt.OnProgress != nil {
+			for i := lo; i < hi; i++ {
+				opt.OnProgress(i+1, len(images))
+			}
+		}
+	}
+	return nil
+}

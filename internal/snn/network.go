@@ -111,6 +111,17 @@ type DiehlCook struct {
 	postSeen     []bool
 	stepT        int // steps since ResetState
 
+	// Dirty-column tracking for incremental normalization: the weight
+	// columns STDP has touched since the last normalization, i.e. the
+	// columns that may no longer sum to Cfg.Norm. Every STDP update
+	// (depression over postActive, potentiation over excSpikes) lands in
+	// a column whose neuron spiked during a learning step of the current
+	// or an earlier un-normalized image, and Step marks exactly those
+	// columns. NOT maintained across direct writes to W.Data (extension
+	// fault hooks) — those callers must use the full NormalizeWeights.
+	dirtyCols []int
+	dirtySeen []bool
+
 	// scratch
 	driveExc tensor.Vector
 	driveInh tensor.Vector
@@ -140,6 +151,7 @@ func NewDiehlCook(cfg DiehlCookConfig) (*DiehlCook, error) {
 		preLastSpike:    make([]int, cfg.NInput),
 		preSeen:         make([]bool, cfg.NInput),
 		postSeen:        make([]bool, cfg.NExc),
+		dirtySeen:       make([]bool, cfg.NExc),
 		driveExc:        tensor.NewVector(cfg.NExc),
 		driveInh:        tensor.NewVector(cfg.NInh),
 	}
@@ -195,7 +207,31 @@ func preDecayTable(k int) []float64 {
 
 // NormalizeWeights rescales each excitatory neuron's afferent weights
 // to sum to Cfg.Norm (Diehl&Cook homeostasis, applied once per sample).
-func (n *DiehlCook) NormalizeWeights() { n.W.NormalizeCols(n.Cfg.Norm) }
+// The full-matrix pass is correct regardless of how the weights were
+// modified (STDP, fault hooks, direct writes); TrainImageStream uses
+// the incremental dirty-column form instead.
+func (n *DiehlCook) NormalizeWeights() {
+	n.W.NormalizeCols(n.Cfg.Norm)
+	n.clearDirty()
+}
+
+// normalizeDirty renormalizes only the columns STDP has touched since
+// the last normalization. Untouched columns still sum to (almost
+// exactly) Cfg.Norm from their previous normalization and are left
+// bit-for-bit alone, where a full pass would rescale them by a factor
+// within one ulp of 1. This per-column skip is the train-protocol-v3
+// normalization contract (see ProtocolVersion).
+func (n *DiehlCook) normalizeDirty() {
+	n.W.NormalizeColsSubset(n.Cfg.Norm, n.dirtyCols)
+	n.clearDirty()
+}
+
+func (n *DiehlCook) clearDirty() {
+	for _, j := range n.dirtyCols {
+		n.dirtySeen[j] = false
+	}
+	n.dirtyCols = n.dirtyCols[:0]
+}
 
 // ResetState clears per-image dynamic state (membranes, traces,
 // pending spikes, sparse trace supports) while keeping weights, theta,
@@ -274,7 +310,11 @@ func (n *DiehlCook) Step(inputSpikes []int, learn bool) []int {
 
 	// 3. Inhibitory layer driven 1-to-1 by excitatory spikes from the
 	// previous step. With no pending spikes the drive is identically
-	// zero and the dense pass is skipped.
+	// zero and the dense pass is skipped. (A sparse-drive merge-walk
+	// was tried here and lost: decayed membranes never return exactly
+	// to rest, so after the first winner-take-all volley most
+	// inhibitory neurons are permanently off the idle fast path and
+	// the branchy walk is slower than the 4-wide dense pass.)
 	var inhSpikes []int
 	if len(n.prevExc) > 0 {
 		n.driveInh.Zero()
@@ -295,6 +335,17 @@ func (n *DiehlCook) Step(inputSpikes []int, learn bool) []int {
 	// walks the spiking neuron's column at the active pixels, reading
 	// each pre trace from the decay table.
 	if learn {
+		// Mark the spikers' columns dirty for incremental normalization.
+		// Every column the two STDP loops below will ever touch belongs
+		// to a neuron in postActive, and postActive only grows via
+		// excSpikes — so marking spikes at learning steps covers the
+		// whole touched set by the time normalization runs.
+		for _, j := range excSpikes {
+			if !n.dirtySeen[j] {
+				n.dirtySeen[j] = true
+				n.dirtyCols = append(n.dirtyCols, j)
+			}
+		}
 		if len(n.postActive) > 0 {
 			nuPre := cfg.NuPre
 			trace := n.Exc.Trace
@@ -376,6 +427,36 @@ func (n *DiehlCook) RunImageStream(next func() []int, learn bool) tensor.Vector 
 	counts := tensor.NewVector(n.Cfg.NExc)
 	for t := 0; t < n.Cfg.Steps; t++ {
 		for _, j := range n.Step(next(), learn) {
+			counts[j]++
+		}
+	}
+	n.rest(counts)
+	return counts
+}
+
+// TrainImageStream presents one image of Cfg.Steps timesteps drawn
+// from next with learning enabled — RunImageStream(next, true) with the
+// per-image homeostatic normalization restricted to the weight columns
+// STDP touched since the last normalization (see normalizeDirty). This
+// is the training engine's fast path; it assumes nothing outside Step
+// has written W since the last normalization, so callers that mutate
+// weights directly (fault-injection hooks) must use RunImageStream,
+// which performs the full normalization.
+func (n *DiehlCook) TrainImageStream(next func() []int) tensor.Vector {
+	n.normalizeDirty()
+	return n.presentLearn(next)
+}
+
+// presentLearn is one learning presentation without the homeostatic
+// normalization: ResetState, Cfg.Steps learning steps, rest. The
+// normalization policy is the caller's — TrainImageStream normalizes
+// the dirty columns first; the minibatch engine presents several
+// images against one normalization.
+func (n *DiehlCook) presentLearn(next func() []int) tensor.Vector {
+	n.ResetState()
+	counts := tensor.NewVector(n.Cfg.NExc)
+	for t := 0; t < n.Cfg.Steps; t++ {
+		for _, j := range n.Step(next(), true) {
 			counts[j]++
 		}
 	}

@@ -75,11 +75,14 @@ func ExcConfig(n int) LIFConfig {
 
 // InhConfig returns the Diehl&Cook inhibitory-layer configuration
 // (BindsNET LIFNodes defaults for the inhibitory population).
+// TraceTC is 0: nothing in the Diehl&Cook rule reads inhibitory
+// traces — STDP runs only on input→exc — so they are not simulated
+// (trace values have no effect on any spike, weight, or figure).
 func InhConfig(n int) LIFConfig {
 	return LIFConfig{
 		N: n, Rest: -60, Reset: -45, Thresh: -40,
 		TCDecay: 10, Refrac: 2,
-		TraceTC: 20, Dt: 1,
+		TraceTC: 0, Dt: 1,
 	}
 }
 
@@ -121,6 +124,14 @@ type LIFGroup struct {
 	restSafe bool
 
 	spikeScratch []int
+
+	// Sparse trace support: the neurons with nonzero Trace, in
+	// first-spike order (a trace becomes nonzero only by spiking and
+	// returns to zero only at Reset). The per-step trace decay walks
+	// this list instead of the dense vector — bit-identical, since
+	// decaying a zero trace is a no-op.
+	traceActive []int
+	traceSeen   []bool
 }
 
 // NewLIFGroup allocates a group at rest with nominal fault hooks.
@@ -137,6 +148,7 @@ func NewLIFGroup(cfg LIFConfig) (*LIFGroup, error) {
 		ThreshScale: tensor.NewVector(cfg.N),
 		InputGain:   tensor.NewVector(cfg.N),
 		decay:       math.Exp(-cfg.Dt / cfg.TCDecay),
+		traceSeen:   make([]bool, cfg.N),
 	}
 	if cfg.ThetaDecayTC > 0 {
 		g.thetaDecay = math.Exp(-cfg.Dt / cfg.ThetaDecayTC)
@@ -161,6 +173,10 @@ func NewLIFGroup(cfg LIFConfig) (*LIFGroup, error) {
 func (g *LIFGroup) Reset() {
 	g.V.Fill(g.Cfg.Rest)
 	g.Trace.Zero()
+	for _, i := range g.traceActive {
+		g.traceSeen[i] = false
+	}
+	g.traceActive = g.traceActive[:0]
 	for i := range g.refrac {
 		g.refrac[i] = 0
 	}
@@ -208,26 +224,63 @@ func (g *LIFGroup) Step(drive tensor.Vector) []int {
 	refrac := g.refrac[:len(V)]
 	tscale := g.ThreshScale[:len(V)]
 
+	// Trace decay walks the sparse nonzero support (bit-identical to the
+	// dense pass: zero traces decay to zero), and decays that are the
+	// identity multiplication (decay constant exactly 1 — e.g. the
+	// inhibitory layer's disabled traces and theta) are skipped outright,
+	// which is bit-identical since x·1 == x for every float.
+	if g.traceDecay != 1 {
+		trace.ScatterScale(g.traceActive, g.traceDecay)
+	}
+
 	if drive != nil {
 		gain := g.InputGain[:len(V)]
 		drive = drive[:len(V)]
+		// Phase 1 — width-batched membrane decay. Each decay touches one
+		// element independently, so hoisting it out of the per-neuron
+		// branch logic into a 4-wide vector pass is bit-identical to the
+		// fused loop (the spike phase below overwrites exactly the
+		// elements the fused loop overwrote, reading the same decayed
+		// values).
+		V.DecayToward(rest, g.decay)
+		// Phase 2 — branchy scalar pass: theta decay (fused here rather
+		// than run as a separate dense pass — the same multiply on the
+		// same element before any use of theta[i], so bit-identical),
+		// refractory gating, drive injection, threshold test, spike
+		// bookkeeping.
+		thetaDecay := g.thetaDecay
+		if thetaDecay != 1 {
+			for i := range V {
+				th := theta[i] * thetaDecay
+				theta[i] = th
+				if refrac[i] > 0 {
+					refrac[i]--
+					continue
+				}
+				v := V[i] + drive[i]*gain[i]
+				if v >= (thresh+th)*tscale[i] {
+					g.spikeScratch = append(g.spikeScratch, i)
+					v = cfg.Reset
+					refrac[i] = cfg.Refrac
+					theta[i] = th + cfg.ThetaPlus
+					g.setTrace(i)
+				}
+				V[i] = v
+			}
+			return g.spikeScratch
+		}
 		for i := range V {
-			v := rest + (V[i]-rest)*g.decay
-			trace[i] *= g.traceDecay
-			th := theta[i] * g.thetaDecay
-			theta[i] = th
 			if refrac[i] > 0 {
 				refrac[i]--
-				V[i] = v
 				continue
 			}
-			v += drive[i] * gain[i]
-			if v >= (thresh+th)*tscale[i] {
+			v := V[i] + drive[i]*gain[i]
+			if v >= (thresh+theta[i])*tscale[i] {
 				g.spikeScratch = append(g.spikeScratch, i)
 				v = cfg.Reset
 				refrac[i] = cfg.Refrac
-				theta[i] = th + cfg.ThetaPlus
-				trace[i] = 1
+				theta[i] += cfg.ThetaPlus
+				g.setTrace(i)
 			}
 			V[i] = v
 		}
@@ -237,18 +290,14 @@ func (g *LIFGroup) Step(drive tensor.Vector) []int {
 	idleSkip := g.restSafe
 	for i := range V {
 		v := V[i]
-		tr := trace[i]
 		th := theta[i]
-		if idleSkip && v == rest && tr == 0 && th == 0 && refrac[i] == 0 {
+		if idleSkip && v == rest && th == 0 && refrac[i] == 0 {
 			continue
 		}
 		if v != rest {
 			v = rest + (v-rest)*g.decay
 		}
-		if tr != 0 {
-			trace[i] = tr * g.traceDecay
-		}
-		if th != 0 {
+		if th != 0 && g.thetaDecay != 1 {
 			th *= g.thetaDecay
 			theta[i] = th
 		}
@@ -262,9 +311,19 @@ func (g *LIFGroup) Step(drive tensor.Vector) []int {
 			v = cfg.Reset
 			refrac[i] = cfg.Refrac
 			theta[i] = th + cfg.ThetaPlus
-			trace[i] = 1
+			g.setTrace(i)
 		}
 		V[i] = v
 	}
 	return g.spikeScratch
+}
+
+// setTrace records neuron i's spike in its trace (set to 1) and adds it
+// to the sparse nonzero-trace support.
+func (g *LIFGroup) setTrace(i int) {
+	g.Trace[i] = 1
+	if !g.traceSeen[i] {
+		g.traceSeen[i] = true
+		g.traceActive = append(g.traceActive, i)
+	}
 }

@@ -108,14 +108,16 @@ func (g *GroupParams) step(v tensor.Vector, refrac []int, drive tensor.Vector, s
 	if drive != nil {
 		gain := g.Gain[:len(v)]
 		drive = drive[:len(v)]
+		// Same two-phase shape as LIFGroup.Step: a 4-wide membrane decay
+		// pass, then the branchy refractory/drive/spike pass reading the
+		// decayed potentials — bit-identical to the fused loop.
+		v.DecayToward(rest, g.decay)
 		for i := range v {
-			x := rest + (v[i]-rest)*g.decay
 			if refrac[i] > 0 {
 				refrac[i]--
-				v[i] = x
 				continue
 			}
-			x += drive[i] * gain[i]
+			x := v[i] + drive[i]*gain[i]
 			if x >= eff[i] {
 				scratch = append(scratch, i)
 				x = g.Reset

@@ -12,11 +12,16 @@ import (
 // ProtocolVersion names the training/evaluation semantics trained
 // results depend on, and belongs in every cache key that stores them
 // (core experiment fingerprints, cmd/snn-train's result cache). Bump
-// it whenever a change alters what a trained result contains — v2 is
+// it whenever a change alters what a trained result contains — v2 was
 // the intra-cell engine's per-image seeding and frozen-network
-// assignment pass — so stale caches miss instead of serving values
-// computed under older semantics.
-const ProtocolVersion = "train-protocol-v2"
+// assignment pass; v3 is the training-pass engine: the geometric
+// skip-sampling encoder (one RNG draw per spike instead of per pixel
+// per step; encoding.SkipSampling), dirty-column homeostatic
+// normalization (untouched columns keep their previous bits instead of
+// rescaling by ≈1), and minibatch STDP (TrainOptions.Batch) — so stale
+// caches miss instead of serving values computed under older
+// semantics.
+const ProtocolVersion = "train-protocol-v3"
 
 // TrainResult summarizes a training run: per-neuron class assignments,
 // classification accuracy over the presented images, and activity
@@ -39,8 +44,22 @@ type TrainOptions struct {
 	// synaptic drift every N images) without duplicating the
 	// training/labeling/scoring loop.
 	BeforeImage func(i int)
-	// Workers sizes the read-only assignment pass; ≤0 uses all CPUs.
-	// Results are bit-identical at every width.
+	// Batch is the STDP minibatch size. ≤1 (the default) is the serial
+	// protocol: normalize, present, update, image by image. Batch > 1
+	// presents each group of Batch consecutive images against the same
+	// frozen weights and adaptive thresholds (normalized once per
+	// batch), computes each image's weight and theta updates
+	// independently — in parallel on the training pool — and merges
+	// them in image order (see trainMinibatch). Different Batch values
+	// are different training semantics and produce different results;
+	// for a fixed Batch the result is bit-identical at every worker
+	// count and scheduling order. Ignored (forced serial) when
+	// BeforeImage is set: fault hooks mutate parameters mid-pass, which
+	// has no coherent frozen-batch meaning.
+	Batch int
+	// Workers sizes the minibatch training pool (when Batch > 1) and
+	// the read-only assignment pass; ≤0 uses all CPUs. Results are
+	// bit-identical at every width.
 	Workers int
 	// Obs, when non-nil, records phase spans: "snn.stdp" (the serial
 	// learning pass) and "snn.assign" (the parallel assignment pass),
@@ -86,15 +105,38 @@ func TrainWith(n *DiehlCook, images []mnist.Image, enc *encoding.PoissonEncoder,
 	base := enc.Seed()
 	defer enc.Reseed(base)
 	stdp := obs.Span(opt.Obs, "snn.stdp")
-	for i := range images {
-		if opt.BeforeImage != nil {
+	switch {
+	case opt.BeforeImage != nil:
+		// Fault hooks may write W directly between presentations, which
+		// the dirty-column tracking cannot see — keep the full
+		// normalize-every-image protocol (and serial order, which a
+		// mid-pass mutation implicitly depends on).
+		for i := range images {
 			opt.BeforeImage(i)
+			enc.Reseed(ImageSeed(base, i))
+			enc.Begin(&images[i])
+			n.RunImageStream(enc.EncodeStep, true)
+			if opt.OnProgress != nil {
+				opt.OnProgress(i+1, len(images))
+			}
 		}
-		enc.Reseed(ImageSeed(base, i))
-		enc.Begin(&images[i])
-		n.RunImageStream(enc.EncodeStep, true)
-		if opt.OnProgress != nil {
-			opt.OnProgress(i+1, len(images))
+	case opt.Batch > 1:
+		// One full normalization opens the pass: whatever wrote W since
+		// the last normalization (fresh init, fault setup) predates the
+		// dirty tracking.
+		n.NormalizeWeights()
+		if err := trainMinibatch(n, images, enc, opt); err != nil {
+			return nil, err
+		}
+	default:
+		n.NormalizeWeights()
+		for i := range images {
+			enc.Reseed(ImageSeed(base, i))
+			enc.Begin(&images[i])
+			n.TrainImageStream(enc.EncodeStep)
+			if opt.OnProgress != nil {
+				opt.OnProgress(i+1, len(images))
+			}
 		}
 	}
 	stdp.End()

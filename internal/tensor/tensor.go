@@ -49,10 +49,36 @@ func (x Vector) Sub(y Vector) {
 	}
 }
 
-// Scale multiplies every element by s.
+// Scale multiplies every element by s, four elements per iteration
+// (independent per-element products, so the unroll is bit-identical to
+// the scalar loop while exposing instruction-level parallelism).
 func (x Vector) Scale(s float64) {
-	for i := range x {
+	i := 0
+	for ; i+3 < len(x); i += 4 {
 		x[i] *= s
+		x[i+1] *= s
+		x[i+2] *= s
+		x[i+3] *= s
+	}
+	for ; i < len(x); i++ {
+		x[i] *= s
+	}
+}
+
+// DecayToward relaxes every element exponentially toward target:
+// x[i] = target + (x[i]−target)·decay. This is the LIF membrane decay
+// kernel; like Scale it processes four independent elements per
+// iteration, bit-identical to the scalar form.
+func (x Vector) DecayToward(target, decay float64) {
+	i := 0
+	for ; i+3 < len(x); i += 4 {
+		x[i] = target + (x[i]-target)*decay
+		x[i+1] = target + (x[i+1]-target)*decay
+		x[i+2] = target + (x[i+2]-target)*decay
+		x[i+3] = target + (x[i+3]-target)*decay
+	}
+	for ; i < len(x); i++ {
+		x[i] = target + (x[i]-target)*decay
 	}
 }
 
@@ -416,16 +442,46 @@ func (m *Matrix) ScaleCols(f Vector) {
 
 // NormalizeCols rescales each column so its sum equals target. Columns
 // whose sum is zero are left untouched. This is the Diehl&Cook weight
-// normalization applied to the input→excitatory connection.
+// normalization applied to the input→excitatory connection. The rescale
+// runs as one contiguous row-major ScaleCols pass over a per-column
+// factor vector (factor 1 for zero-sum columns) — bit-identical to the
+// column-at-a-time strided form, since x·1 == x for every float
+// including NaN and −0, but ~Rows× fewer cache lines touched.
 func (m *Matrix) NormalizeCols(target float64) {
-	sums := m.ColSum()
-	for j := 0; j < m.Cols; j++ {
-		if sums[j] == 0 {
+	f := m.ColSum()
+	for j, s := range f {
+		if s == 0 {
+			f[j] = 1
+		} else {
+			f[j] = target / s
+		}
+	}
+	m.ScaleCols(f)
+}
+
+// NormalizeColsSubset rescales only the listed columns so each sums to
+// target, leaving every other column untouched; zero-sum columns in the
+// list are also left untouched. Each column's sum accumulates over its
+// elements in ascending row order — the same per-column order ColSum
+// uses — so for a listed column the factor, and hence the rescaled
+// values, are bit-identical to a full NormalizeCols. Columns are
+// independent, so the result does not depend on the order of cols.
+// This is the dirty-column form of Diehl&Cook normalization: between
+// two normalizations STDP touches only the columns of neurons that
+// spiked, so only those columns have drifted from target.
+func (m *Matrix) NormalizeColsSubset(target float64, cols []int) {
+	r, c := m.Rows, m.Cols
+	for _, j := range cols {
+		var s float64
+		for i := 0; i < r; i++ {
+			s += m.Data[i*c+j]
+		}
+		if s == 0 {
 			continue
 		}
-		f := target / sums[j]
-		for i := 0; i < m.Rows; i++ {
-			m.Data[i*m.Cols+j] *= f
+		f := target / s
+		for i := 0; i < r; i++ {
+			m.Data[i*c+j] *= f
 		}
 	}
 }

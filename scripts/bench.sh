@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # bench.sh — run the tier benchmarks and emit a machine-readable bench
-# record (BENCH_PR6.json by default). The checked-in copy pins the
-# numbers measured when the telemetry layer landed; CI regenerates the
+# record. The checked-in copy (BENCH_PR8.json) pins the numbers
+# measured when the training-pass engine landed; CI regenerates the
 # file on every push and uploads it as an artifact, so the bench
 # trajectory is recorded per-commit without gating merges on timing.
 #
@@ -10,16 +10,23 @@
 # campaign — the defended attack-4 cell the cache-smoke job runs — so
 # every bench artifact also carries real end-to-end phase timings.
 #
-# Usage: scripts/bench.sh [OUT.json]
+# Usage: scripts/bench.sh OUT.json
 #   BENCHTIME=1s      override -benchtime (default 2x: cheap but real)
 #   BENCH_PATTERN=…   override the bench selection regexp
 #   SKIP_CAMPAIGN=1   skip the quickstart campaign report
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR6.json}"
+# The output name comes from the argument alone — each PR's record is
+# named explicitly at the call site, so a stale default can't silently
+# overwrite an older pinned record.
+if [ $# -lt 1 ]; then
+  echo "usage: scripts/bench.sh OUT.json" >&2
+  exit 2
+fi
+out="$1"
 benchtime="${BENCHTIME:-2x}"
-pattern="${BENCH_PATTERN:-BenchmarkEvaluate|BenchmarkCountsParallel|BenchmarkStep_|BenchmarkTrainImageStream|BenchmarkEncode_|BenchmarkSpiceTransientStep|BenchmarkCharacterize_AHThresholdVsVDD}"
+pattern="${BENCH_PATTERN:-BenchmarkEvaluate|BenchmarkCountsParallel|BenchmarkStep_|BenchmarkTrainImage|BenchmarkTrainMinibatch|BenchmarkEncode_|BenchmarkSpiceTransientStep|BenchmarkCharacterize_AHThresholdVsVDD}"
 
 raw="$(mktemp)"
 work="$(mktemp -d)"

@@ -477,6 +477,39 @@ func BenchmarkCharacterize_AHThresholdVsVDD(b *testing.B) {
 	}
 }
 
+// BenchmarkMonteCarloThreshold compares the two process-variation
+// engines on the same 32-sample mismatch distribution: the serial-port
+// baseline (one fresh circuit and full 201-point linear scan per
+// sample, single-stream RNG) against the pooled bisected probe (one
+// reusable circuit per worker, ~8 warm-started solves per sample,
+// per-sample derived seeds). Thresholds are bit-identical between the
+// two per-sample methods (TestBisectionMatchesScan) and across worker
+// counts (TestMonteCarloWorkerInvariance). No cache: every iteration
+// re-solves all samples. The per-sample metric is the acceptance
+// number — bisect should sit ≥10× below serial-scan.
+func BenchmarkMonteCarloThreshold(b *testing.B) {
+	mc := neuron.NewMonteCarlo(32)
+	b.Run("serial-scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := mc.ThresholdSamples(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(b.Elapsed().Seconds()*1e9/float64(b.N*mc.N), "ns/sample")
+	})
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("bisect/workers=%d", w), func(b *testing.B) {
+			ch := &neuron.Characterizer{Workers: w}
+			for i := 0; i < b.N; i++ {
+				if _, err := ch.MonteCarloThresholds(mc); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(b.Elapsed().Seconds()*1e9/float64(b.N*mc.N), "ns/sample")
+		})
+	}
+}
+
 // BenchmarkCharacterize_CachedSweep measures a fully warm
 // characterization sweep: every point is served from the
 // content-addressed point cache, so this is the per-sweep overhead of

@@ -47,8 +47,8 @@ func TestPaperSuiteMatchesGoldens(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(goldens) != 22 {
-		t.Fatalf("expected 22 golden artifacts, found %d", len(goldens))
+	if len(goldens) != 25 {
+		t.Fatalf("expected 25 golden artifacts, found %d", len(goldens))
 	}
 	for _, golden := range goldens {
 		name := filepath.Base(golden)

@@ -6,6 +6,10 @@
 //
 //	report-check -report cold.json
 //	report-check -report warm.json -require-trained 0 -require-hit-rate 1
+//
+// -require-counter name=value pins a telemetry counter in the same
+// report — the MC warm rerun uses it to assert the circuit tier served
+// every mismatch sample from cache (spice.solves=0).
 package main
 
 import (
@@ -13,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"snnfi/internal/core"
 )
@@ -29,6 +35,7 @@ func run() error {
 		path       = flag.String("report", "", "campaign report JSON to validate")
 		reqTrained = flag.Int64("require-trained", -1, "require exactly this many trained cells (-1 = any)")
 		reqHitRate = flag.Float64("require-hit-rate", -1, "require exactly this hit rate (-1 = any)")
+		reqCounter = flag.String("require-counter", "", "require a telemetry counter to hold exactly a value, as name=value")
 	)
 	flag.Parse()
 	if *path == "" {
@@ -60,6 +67,23 @@ func run() error {
 	}
 	if *reqHitRate >= 0 && r.HitRate != *reqHitRate {
 		return fmt.Errorf("%s: hit rate %g, required %g", *path, r.HitRate, *reqHitRate)
+	}
+	if *reqCounter != "" {
+		name, want, ok := strings.Cut(*reqCounter, "=")
+		if !ok {
+			return fmt.Errorf("-require-counter %q: want name=value", *reqCounter)
+		}
+		wantN, err := strconv.ParseInt(want, 10, 64)
+		if err != nil {
+			return fmt.Errorf("-require-counter %q: %w", *reqCounter, err)
+		}
+		got, recorded := r.Telemetry.Counters[name]
+		if !recorded {
+			return fmt.Errorf("%s: counter %q not in report", *path, name)
+		}
+		if got != wantN {
+			return fmt.Errorf("%s: counter %s = %d, required %d", *path, name, got, wantN)
+		}
 	}
 	fmt.Printf("%s: ok — %s, %d cells (%d trained, %d cached), hit rate %.2f, %.2fs wall\n",
 		*path, r.Name, r.Cells.Total, r.Cells.Trained, r.Cells.Cached, r.HitRate, r.WallSeconds)

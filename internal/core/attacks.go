@@ -112,3 +112,27 @@ func NewAttack5(vdd float64, kind xfer.NeuronKind) *FaultPlan {
 		},
 	}
 }
+
+// NewAttack5Variation builds the shared-supply plan for one process
+// corner: the neuron threshold ratio is sampled from the mismatch
+// band at the given quantile (relSigmaPc = 100·σ/μ from the
+// Monte-Carlo threshold characterization), so a p5/p50/p95 triple of
+// plans brackets where the attack lands across fabricated instances.
+// The driver amplitude stays nominal — its mirror ratio is set by
+// device matching inside one branch pair, while the threshold depends
+// on the absolute Vth of the first inverter, which is what mismatch
+// moves. The p50 plan equals NewAttack5 except in name; names carry
+// the quantile so variation cells never alias the single-corner sweep.
+func NewAttack5Variation(vdd float64, kind xfer.NeuronKind, quantilePc, relSigmaPc float64) *FaultPlan {
+	v := xfer.Variation{RelSigma: relSigmaPc / 100}
+	ampRatio := xfer.DriverAmplitudeRatio().At(vdd)
+	thrRatio := v.RatioAt(xfer.ThresholdRatio(kind), vdd, quantilePc)
+	return &FaultPlan{
+		Name: fmt.Sprintf("attack-5-vdd-%.2f-p%g", vdd, quantilePc),
+		Faults: []FaultSpec{
+			{Layer: Drivers, Scale: ampRatio, Fraction: 1},
+			{Layer: Excitatory, Scale: thrRatio, Fraction: 1},
+			{Layer: Inhibitory, Scale: thrRatio, Fraction: 1},
+		},
+	}
+}

@@ -260,6 +260,7 @@ type SweepPoint struct {
 	ScalePc    float64 // threshold/theta change in percent (−20 … +20)
 	FractionPc float64 // portion of the layer affected in percent
 	VDD        float64 // supply voltage (Attack 5 sweeps)
+	QuantilePc float64 // mismatch quantile (variation sweeps; 0 = nominal corner)
 	Defense    string  // hardening applied to the cell ("" = undefended)
 	Detected   bool    // dummy-neuron detector verdict for the cell's attack
 	Result     *Result
@@ -301,9 +302,10 @@ func (c campaignJob) key(e *Experiment) string {
 // scenario matrix whose records carry the defense column and detector
 // verdict.
 type campaignMeta struct {
-	name   string
-	coords bool
-	matrix bool
+	name      string
+	coords    bool
+	matrix    bool
+	variation bool
 }
 
 // gridMaskSeed fixes which neurons a partial-layer glitch hits, shared
@@ -418,6 +420,9 @@ func sweepRecord(meta campaignMeta, p SweepPoint, r *Result) runner.Record {
 			runner.Field{Name: "fraction_pc", Value: p.FractionPc},
 			runner.Field{Name: "vdd_v", Value: p.VDD},
 		)
+	}
+	if meta.variation {
+		rec = append(rec, runner.Field{Name: "quantile_pc", Value: p.QuantilePc})
 	}
 	rec = append(rec,
 		runner.Field{Name: "accuracy", Value: r.Accuracy},

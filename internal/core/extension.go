@@ -221,6 +221,50 @@ func (e *Experiment) RunLearningRateFaults(specs []LearningRateFaultSpec) ([]*Re
 	return e.runExtension("ext-learning-rate", cells)
 }
 
+// LearningRateFaultHardening is a Hardening that additionally knows
+// how to defend extension learning-rate cells: HardenLearningRateFault
+// returns the spec that results when the same supply fault hits the
+// hardened weight-programming peripheral (e.g. a regulator that holds
+// the programming pulse energy near nominal).
+type LearningRateFaultHardening interface {
+	Hardening
+	HardenLearningRateFault(LearningRateFaultSpec) LearningRateFaultSpec
+}
+
+// RunLearningRateFaultMatrix replays each learning-rate spec
+// undefended and against every listed defense — the extension analogue
+// of a scenario matrix, mirroring RunWeightFaultMatrix. All cells
+// share one pool run, one baseline and one ordered sink stream;
+// records carry the defense column. Every defense must implement
+// LearningRateFaultHardening.
+func (e *Experiment) RunLearningRateFaultMatrix(specs []LearningRateFaultSpec, defenses []Hardening) ([]SweepPoint, error) {
+	var cells []campaignJob
+	for _, s := range specs {
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+		cells = append(cells, s.cell(e))
+		for _, d := range defenses {
+			lh, ok := d.(LearningRateFaultHardening)
+			if !ok {
+				if d == nil {
+					return nil, fmt.Errorf("core: learning-rate matrix defense list contains nil")
+				}
+				return nil, fmt.Errorf("core: defense %q cannot harden learning-rate cells", d.Name())
+			}
+			hs := lh.HardenLearningRateFault(s)
+			if err := hs.Validate(); err != nil {
+				return nil, fmt.Errorf("core: defense %q hardened spec invalid: %w", d.Name(), err)
+			}
+			cell := hs.cell(e)
+			cell.point.Defense = d.Name()
+			cell.desc = fmt.Sprintf("%s [%s]", cell.desc, d.Name())
+			cells = append(cells, cell)
+		}
+	}
+	return e.runCampaign(campaignMeta{name: "ext-learning-rate", matrix: len(defenses) > 0}, cells)
+}
+
 // RunLearningRateFault trains with scaled STDP rates.
 func (e *Experiment) RunLearningRateFault(spec LearningRateFaultSpec) (*Result, error) {
 	res, err := e.RunLearningRateFaults([]LearningRateFaultSpec{spec})

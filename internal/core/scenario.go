@@ -44,6 +44,25 @@ type Axes struct {
 	// (Attacks 2-3); 0 uses the campaign default so fractions nest
 	// across every entry point.
 	MaskSeed int64
+	// Variation, when non-nil, expands every Attack 5 supply coordinate
+	// into one cell per mismatch quantile, sampling the threshold
+	// transfer map from the process-variation band instead of the
+	// nominal curve — distributional attack severity and detector ROC
+	// instead of single points.
+	Variation *VariationAxis
+}
+
+// VariationAxis adds a process-variation dimension to an Attack 5
+// sweep: the per-cell threshold transfer curve is shifted to each
+// listed quantile of a normal mismatch distribution whose relative
+// sigma (100·σ/μ) comes from the Monte-Carlo threshold
+// characterization.
+type VariationAxis struct {
+	// RelSigmaPc is the relative threshold sigma in percent (σ/μ·100),
+	// anchored on neuron.Spread over MonteCarloThresholds samples.
+	RelSigmaPc float64
+	// QuantilesPc are the sampled quantiles in percent (e.g. 5, 50, 95).
+	QuantilesPc []float64
 }
 
 // Scenario declaratively specifies one campaign matrix: an attack
@@ -97,6 +116,22 @@ func (s *Scenario) Validate() error {
 		}
 	default:
 		return fmt.Errorf("core: unknown attack %v", s.Attack)
+	}
+	if v := s.Axes.Variation; v != nil {
+		if s.Attack != Attack5 {
+			return fmt.Errorf("core: Axes.Variation applies only to %v (the transfer-map attack), got %v", Attack5, s.Attack)
+		}
+		if len(v.QuantilesPc) == 0 {
+			return fmt.Errorf("core: Axes.Variation needs QuantilesPc")
+		}
+		if v.RelSigmaPc < 0 {
+			return fmt.Errorf("core: Axes.Variation.RelSigmaPc must be >= 0, got %g", v.RelSigmaPc)
+		}
+		for _, q := range v.QuantilesPc {
+			if q <= 0 || q >= 100 {
+				return fmt.Errorf("core: Axes.Variation quantile %g out of range (0, 100)", q)
+			}
+		}
 	}
 	for _, d := range s.Defenses {
 		if d == nil {
@@ -171,6 +206,19 @@ func (s *Scenario) baseCells() []campaignJob {
 		}
 	case Attack5:
 		for _, v := range s.Axes.VDDs {
+			if vr := s.Axes.Variation; vr != nil {
+				// Supply-major, quantile-minor: each supply's band reads
+				// as consecutive rows, which is the order the pivoted
+				// p5/p50/p95 outputs consume.
+				for _, q := range vr.QuantilesPc {
+					cells = append(cells, campaignJob{
+						point: SweepPoint{VDD: v, FractionPc: 100, QuantilePc: q},
+						plan:  NewAttack5Variation(v, s.Axes.Kind, q, vr.RelSigmaPc),
+						desc:  fmt.Sprintf("attack 5 at VDD=%.2f p%g", v, q),
+					})
+				}
+				continue
+			}
 			cells = append(cells, campaignJob{
 				point: SweepPoint{VDD: v, FractionPc: 100},
 				plan:  NewAttack5(v, s.Axes.Kind),
@@ -188,9 +236,10 @@ func (s *Scenario) baseCells() []campaignJob {
 // which is what makes campaign output independent of worker count.
 func (s *Scenario) compile() ([]campaignJob, campaignMeta, error) {
 	meta := campaignMeta{
-		name:   s.name(),
-		coords: s.Attack != 0,
-		matrix: len(s.Defenses) > 0 || s.Detector != nil,
+		name:      s.name(),
+		coords:    s.Attack != 0,
+		matrix:    len(s.Defenses) > 0 || s.Detector != nil,
+		variation: s.Axes.Variation != nil,
 	}
 	if err := s.Validate(); err != nil {
 		return nil, meta, err
@@ -203,7 +252,18 @@ func (s *Scenario) compile() ([]campaignJob, campaignMeta, error) {
 	for _, b := range base {
 		detected := false
 		if s.Detector != nil {
-			detected = s.Detector.Judge(b.point, b.plan)
+			judged := b.point
+			if meta.variation {
+				// A variation cell's nominal supply would mask its
+				// quantile: the detector's dummy neuron is built from the
+				// same mismatched wafer, so what it senses is the cell's
+				// *effective* corruption. Blanking VDD makes the judge
+				// invert the quantile-shifted threshold scale instead —
+				// marginal supplies drift across the trigger with process
+				// corner, which is the distributional-ROC story.
+				judged.VDD = 0
+			}
+			detected = s.Detector.Judge(judged, b.plan)
 		}
 		b.point.Detected = detected
 		cells = append(cells, b)

@@ -1,0 +1,43 @@
+package defense
+
+import (
+	"snnfi/internal/core"
+)
+
+// LearningRateRegulator is the defense analogue for the extension
+// learning-rate experiments (core.LearningRateFaultSpec): a local
+// regulator on the weight-programming peripheral holds the programming
+// pulse energy — and with it the effective STDP rates — near nominal
+// while the shared supply is glitched. Like the bandgap reference of
+// §V-B1 it is not perfect: ResidualPc models the surviving rate
+// excursion as a percentage of the injected one (0 = ideal regulation,
+// 100 = no regulator at all).
+//
+// As a core.Hardening it leaves plan-based attacks untouched —
+// regulating the programming supply does nothing for threshold or
+// driver faults — and as a core.LearningRateFaultHardening it
+// attenuates the rate scale of learning-rate cells, so it can be
+// listed in a learning-rate matrix (core.RunLearningRateFaultMatrix)
+// like any paper defense in a scenario.
+type LearningRateRegulator struct {
+	// ResidualPc is the surviving rate excursion in percent of the
+	// injected one.
+	ResidualPc float64
+}
+
+// Name implements core.Hardening.
+func (LearningRateRegulator) Name() string { return "learning-rate-regulator" }
+
+// Harden implements core.Hardening: plan faults (thresholds, drivers)
+// are not programming-peripheral state and pass through unchanged.
+func (LearningRateRegulator) Harden(plan *core.FaultPlan) *core.FaultPlan { return plan }
+
+// HardenLearningRateFault implements core.LearningRateFaultHardening:
+// the rate scale collapses toward nominal, leaving the residual
+// excursion.
+func (r LearningRateRegulator) HardenLearningRateFault(s core.LearningRateFaultSpec) core.LearningRateFaultSpec {
+	s.Scale = 1 + (s.Scale-1)*r.ResidualPc/100
+	return s
+}
+
+var _ core.LearningRateFaultHardening = LearningRateRegulator{}

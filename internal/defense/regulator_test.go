@@ -1,0 +1,85 @@
+package defense
+
+import (
+	"testing"
+
+	"snnfi/internal/core"
+	"snnfi/internal/snn"
+)
+
+// TestLearningRateRegulatorMatrix runs an extension learning-rate cell
+// undefended and behind the regulator hardening in one matrix. The
+// assertions are exact rather than directional (at test scale the
+// accuracy impact of a rate fault is noisy): a regulator with zero
+// residual holds the rates at nominal — the defended cell must train
+// to the attack-free baseline bit for bit — and the defended column
+// must be the same content-addressed cell a direct run of the hardened
+// spec produces, so replaying it retrains nothing.
+func TestLearningRateRegulatorMatrix(t *testing.T) {
+	cfg := snn.DefaultConfig()
+	cfg.NExc, cfg.NInh = 16, 16
+	cfg.Steps = 60
+	e, err := core.NewExperiment("", 40, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := LearningRateRegulator{ResidualPc: 0}
+	spec := core.LearningRateFaultSpec{Scale: 0.2}
+	pts, err := e.RunLearningRateFaultMatrix(
+		[]core.LearningRateFaultSpec{spec},
+		[]core.Hardening{reg},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("%d matrix cells, want undefended + defended", len(pts))
+	}
+	undef, def := pts[0], pts[1]
+	if undef.Defense != "" || def.Defense != "learning-rate-regulator" {
+		t.Fatalf("defense columns wrong: %q / %q", undef.Defense, def.Defense)
+	}
+	// Zero residual means the surviving rate scale is exactly 1 — an
+	// identity corruption — so the defended training run IS the
+	// attack-free run.
+	if def.Result.Accuracy != def.Result.Baseline || def.Result.RelChangePc != 0 {
+		t.Fatalf("zero-residual regulator should recover the baseline exactly, got %+v", *def.Result)
+	}
+
+	// The defended cell is canonical: directly running the hardened
+	// spec is served from the matrix's cache without retraining.
+	trained := e.TrainCount()
+	direct, err := e.RunLearningRateFault(reg.HardenLearningRateFault(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.TrainCount() != trained {
+		t.Fatal("direct hardened replay retrained: matrix cells are not canonically addressed")
+	}
+	if direct.Accuracy != def.Result.Accuracy {
+		t.Fatal("direct hardened run disagrees with the matrix cell")
+	}
+
+	// A partial residual attenuates rather than erases.
+	hs := LearningRateRegulator{ResidualPc: 10}.HardenLearningRateFault(spec)
+	if want := 1 + (spec.Scale-1)*10/100; hs.Scale != want {
+		t.Fatalf("10%% residual scale = %v, want %v", hs.Scale, want)
+	}
+
+	// The plan-side Harden is a pass-through: a threshold attack is not
+	// programming-peripheral state.
+	plan := core.NewAttack3(0.8, 1, 1)
+	if got := reg.Harden(plan); got != plan {
+		t.Fatal("Harden must pass plan faults through unchanged")
+	}
+
+	// A defense without learning-rate support is rejected, not silently
+	// skipped.
+	if _, err := e.RunLearningRateFaultMatrix(
+		[]core.LearningRateFaultSpec{spec},
+		[]core.Hardening{RobustDriver{ResidualPc: 0.1}},
+	); err == nil {
+		t.Fatal("plan-only defense must be rejected for learning-rate cells")
+	}
+}

@@ -1,10 +1,14 @@
 package neuron
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
+	"sync"
 
+	"snnfi/internal/runner"
 	"snnfi/internal/spice"
 )
 
@@ -27,8 +31,178 @@ func NewMonteCarlo(n int) MonteCarlo {
 	return MonteCarlo{N: n, SigmaVth: 0.015, Seed: 1, VDD: 1.0}
 }
 
+// thresholdGridSteps divides the [0, VDD] input range; the threshold
+// is reported on this grid, so scan and bisection agree bit-for-bit.
+const thresholdGridSteps = 200
+
+// ThresholdGrid returns the 201-point DC input grid for a supply,
+// built by index (v = vdd·j/200) so no float accumulation drifts the
+// upper points. Both the linear scan and the bisected prober resolve
+// thresholds onto this grid, which is what makes their results
+// byte-identical.
+func ThresholdGrid(vdd float64) []float64 {
+	grid := make([]float64, thresholdGridSteps+1)
+	for j := range grid {
+		grid[j] = vdd * float64(j) / thresholdGridSteps
+	}
+	return grid
+}
+
+// errNeverSwitched reports an inverter whose output never crossed the
+// input — no threshold exists on the grid.
+var errNeverSwitched = errors.New("inverter never switched")
+
+// scanThreshold is the serial-port reference measurement: a fresh
+// inverter build and a full 201-point DC transfer sweep, returning the
+// first grid point where vout <= vin. The bisected ThresholdProbe must
+// reproduce its results exactly; it exists as the oracle for that
+// property and as the benchmark baseline.
+func scanThreshold(vdd, dpVth, dnVth float64) (float64, error) {
+	pp := spice.PMOS65()
+	np := spice.NMOS65()
+	pp.Vth += dpVth
+	np.Vth += dnVth
+
+	c := spice.New()
+	c.V("VDD", "vdd", "0", spice.DC(vdd))
+	c.V("VIN", "in", "0", spice.DC(0))
+	c.PMOSDev("MP1", "out", "in", "vdd", 2e-6, 100e-9, pp)
+	c.NMOSDev("MN3", "out", "in", "0", 1e-6, 100e-9, np)
+	grid := ThresholdGrid(vdd)
+	res, err := c.DCSweep("VIN", grid)
+	if err != nil {
+		return 0, err
+	}
+	vout := res.V("out")
+	for j := range grid {
+		if vout[j] <= grid[j] {
+			return grid[j], nil
+		}
+	}
+	return 0, errNeverSwitched
+}
+
+// ThresholdProbe measures inverter switching thresholds under
+// per-sample Vth mismatch without rebuilding anything: one circuit
+// template whose transistor model cards and source waveforms are
+// patched in place between solves (iterate- and step-tier stamps pick
+// the patches up automatically; see spice.DCSolver), and a bisection
+// over the ThresholdGrid indices instead of a linear scan. The
+// vout[j] <= grid[j] crossing predicate is monotone in j, so ≤8 DC
+// solves land on the same grid point the 201-solve scan finds —
+// bit-identical, ~25× fewer solves. Across samples at one supply the
+// bisection revisits mostly the same grid indices, so the probe keeps
+// one converged state per index and warm-starts each revisit from it:
+// only the ~15 mV Vth perturbation separates the iterate from the
+// solution. Probes are not safe for concurrent use; pool them per
+// worker.
+type ThresholdProbe struct {
+	c          *spice.Circuit
+	solver     *spice.DCSolver
+	vdd, vin   *spice.VSource
+	mp, mn     *spice.MOSFET
+	pNom, nNom spice.MOSParams
+	warmVDD    float64   // supply the held per-index states belong to; 0 = none
+	grid       []float64 // ThresholdGrid(warmVDD)
+	states     [thresholdGridSteps + 1][]float64
+}
+
+// NewThresholdProbe builds the inverter template once. No circuit is
+// solved until the first Threshold call.
+func NewThresholdProbe() *ThresholdProbe {
+	c := spice.New()
+	p := &ThresholdProbe{
+		c:    c,
+		vdd:  c.V("VDD", "vdd", "0", spice.DC(1)),
+		vin:  c.V("VIN", "in", "0", spice.DC(0)),
+		pNom: spice.PMOS65(),
+		nNom: spice.NMOS65(),
+	}
+	p.mp = c.PMOSDev("MP1", "out", "in", "vdd", 2e-6, 100e-9, p.pNom)
+	p.mn = c.NMOSDev("MN3", "out", "in", "0", 1e-6, 100e-9, p.nNom)
+	p.solver = c.BeginDC()
+	return p
+}
+
+// Threshold measures the switching threshold at the given supply with
+// the transistor Vth values offset from nominal by dpVth (PMOS) and
+// dnVth (NMOS). The first call at a supply establishes the nominal
+// solution robustly; later calls warm-start every probed grid index
+// from the converged state the last sample left there, so each sample
+// is a handful of one- or two-iteration Newton continuations.
+func (p *ThresholdProbe) Threshold(vdd, dpVth, dnVth float64) (float64, error) {
+	p.mp.P = p.pNom
+	p.mp.P.Vth += dpVth
+	p.mn.P = p.nNom
+	p.mn.P.Vth += dnVth
+	p.vdd.W = spice.DC(vdd)
+
+	if p.warmVDD != vdd {
+		// New supply: saved states describe the wrong operating
+		// region. Establish one robust solution and drop them.
+		p.vin.W = spice.DC(0)
+		if err := p.solver.SolveRobust(); err != nil {
+			return 0, err
+		}
+		for j := range p.states {
+			p.states[j] = nil
+		}
+		p.warmVDD = vdd
+		p.grid = ThresholdGrid(vdd)
+	}
+	grid := p.grid
+
+	// switched(j) evaluates the scan's crossing predicate at one grid
+	// index; it is monotone false→true in j.
+	switched := func(j int) (bool, error) {
+		p.vin.W = spice.DC(grid[j])
+		if s := p.states[j]; s != nil {
+			p.solver.LoadState(s)
+		}
+		if err := p.solver.Solve(); err != nil {
+			return false, fmt.Errorf("at vin=%g: %w", grid[j], err)
+		}
+		p.states[j] = p.solver.SaveState(p.states[j])
+		return p.solver.V("out") <= grid[j], nil
+	}
+
+	// First-true binary search over the full grid. Endpoints are not
+	// pre-probed: lo carries "every index below lo tested false", hi
+	// carries "hi tested true, or hi is the untested top of the grid".
+	lo, hi := 0, thresholdGridSteps
+	hiTested := false
+	for lo < hi {
+		mid := (lo + hi) / 2
+		ok, err := switched(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			hi = mid
+			hiTested = true
+		} else {
+			lo = mid + 1
+		}
+	}
+	// Only the all-false descent leaves the top of the grid untested.
+	if !hiTested {
+		ok, err := switched(hi)
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			return 0, errNeverSwitched
+		}
+	}
+	return grid[hi], nil
+}
+
 // ThresholdSamples measures the inverter switching threshold for each
-// mismatch sample via a DC transfer sweep.
+// mismatch sample via a full DC transfer sweep on a fresh circuit per
+// sample. This is the original serial port of the measurement, kept as
+// the reference and benchmark baseline; campaign workloads should use
+// Characterizer.MonteCarloThresholds, which is pooled, cached, and
+// bisected.
 func (mc MonteCarlo) ThresholdSamples() ([]float64, error) {
 	if mc.N <= 0 {
 		return nil, fmt.Errorf("neuron: Monte Carlo needs N > 0, got %d", mc.N)
@@ -36,38 +210,97 @@ func (mc MonteCarlo) ThresholdSamples() ([]float64, error) {
 	rng := rand.New(rand.NewSource(mc.Seed))
 	out := make([]float64, 0, mc.N)
 	for i := 0; i < mc.N; i++ {
-		pp := spice.PMOS65()
-		np := spice.NMOS65()
-		pp.Vth += rng.NormFloat64() * mc.SigmaVth
-		np.Vth += rng.NormFloat64() * mc.SigmaVth
-
-		c := spice.New()
-		c.V("VDD", "vdd", "0", spice.DC(mc.VDD))
-		c.V("VIN", "in", "0", spice.DC(0))
-		c.PMOSDev("MP1", "out", "in", "vdd", 2e-6, 100e-9, pp)
-		c.NMOSDev("MN3", "out", "in", "0", 1e-6, 100e-9, np)
-		var sweep []float64
-		for v := 0.0; v <= mc.VDD+1e-9; v += mc.VDD / 200 {
-			sweep = append(sweep, v)
-		}
-		res, err := c.DCSweep("VIN", sweep)
+		dp := rng.NormFloat64() * mc.SigmaVth
+		dn := rng.NormFloat64() * mc.SigmaVth
+		th, err := scanThreshold(mc.VDD, dp, dn)
 		if err != nil {
 			return nil, fmt.Errorf("neuron: MC sample %d: %w", i, err)
 		}
-		vout := res.V("out")
-		found := false
-		for j := range sweep {
-			if vout[j] <= sweep[j] {
-				out = append(out, sweep[j])
-				found = true
-				break
-			}
-		}
-		if !found {
-			return nil, fmt.Errorf("neuron: MC sample %d: inverter never switched", i)
-		}
+		out = append(out, th)
 	}
 	return out, nil
+}
+
+// SampleVthDraws returns the (PMOS, NMOS) threshold-voltage offsets of
+// one content-addressed mismatch sample. Each sample owns a derived
+// seed, so any subset of samples is computable independently — the
+// property that makes samples cacheable cells rather than positions in
+// one serial RNG stream. The seed is expanded by a splitmix64 chain
+// and mapped through the normal inverse CDF rather than a seeded
+// math/rand source: reseeding Go's lagged-Fibonacci source costs a
+// 607-word warm-up per sample, which at bisected solve speeds would
+// cost as much as the threshold measurement itself.
+func (mc MonteCarlo) SampleVthDraws(i int) (dpVth, dnVth float64) {
+	s := uint64(runner.DeriveSeed(mc.Seed, "mc", i))
+	u1, s := splitmixUniform(s)
+	u2, _ := splitmixUniform(s)
+	return mc.SigmaVth * normalFromUniform(u1), mc.SigmaVth * normalFromUniform(u2)
+}
+
+// splitmixUniform advances a splitmix64 state and maps the output word
+// to a uniform in the open interval (0, 1) — the +0.5 offset on the
+// 53-bit mantissa keeps both endpoints out, so the inverse CDF below
+// never sees ±1.
+func splitmixUniform(s uint64) (float64, uint64) {
+	s += 0x9e3779b97f4a7c15
+	z := s
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return (float64(z>>11) + 0.5) / (1 << 53), s
+}
+
+// normalFromUniform maps a uniform (0,1) draw to a standard normal via
+// the inverse CDF: Φ⁻¹(u) = √2·erfinv(2u−1).
+func normalFromUniform(u float64) float64 {
+	return math.Sqrt2 * math.Erfinv(2*u-1)
+}
+
+// MonteCarloThresholds runs the mismatch samples as pooled,
+// content-addressed jobs on the sweep fabric: per-sample seeds via
+// runner.DeriveSeed (so sample i is the same cell at any worker count
+// and in any batch composition), each cell cached under
+// "neuron/mc-threshold-v1", and each measurement a bisected probe
+// solve instead of a full sweep. Sample order in the result and in the
+// sinks is worker-invariant. Probes are recycled through a per-call
+// pool, so an N-sample run builds at most one circuit per worker.
+func (ch *Characterizer) MonteCarloThresholds(mc MonteCarlo) ([]float64, error) {
+	if mc.N <= 0 {
+		return nil, fmt.Errorf("neuron: Monte Carlo needs N > 0, got %d", mc.N)
+	}
+	probes := sync.Pool{New: func() any { return NewThresholdProbe() }}
+	pts := make([]charPoint, mc.N)
+	for i := range pts {
+		i := i
+		dp, dn := mc.SampleVthDraws(i)
+		pts[i] = charPoint{
+			x: float64(i),
+			key: runner.KeyOf("neuron/mc-threshold-v1", mc.VDD,
+				runner.DeriveSeed(mc.Seed, "mc", i), dp, dn),
+			eval: func() (float64, error) {
+				p := probes.Get().(*ThresholdProbe)
+				defer probes.Put(p)
+				return p.Threshold(mc.VDD, dp, dn)
+			},
+		}
+	}
+	points, err := ch.sweep("mc-threshold", pts)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(points))
+	for i, p := range points {
+		out[i] = p.Y
+	}
+	return out, nil
+}
+
+// MonteCarloThresholds runs mc on the default Characterizer (all CPUs,
+// uncached).
+func MonteCarloThresholds(mc MonteCarlo) ([]float64, error) {
+	return defaultChar.MonteCarloThresholds(mc)
 }
 
 // Spread returns the mean and standard deviation of samples.
@@ -85,6 +318,46 @@ func Spread(samples []float64) (mean, sigma float64) {
 	}
 	sigma = math.Sqrt(sigma / float64(len(samples)))
 	return mean, sigma
+}
+
+// Quantile returns the pc-th percentile of samples by linear
+// interpolation between order statistics (the rank pc/100·(n−1)
+// definition). Samples are not modified.
+func Quantile(samples []float64, pc float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, pc)
+}
+
+// Quantiles returns one percentile per entry of pcs, sharing a single
+// sort of the samples.
+func Quantiles(samples []float64, pcs []float64) []float64 {
+	out := make([]float64, len(pcs))
+	if len(samples) == 0 {
+		return out
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	for i, pc := range pcs {
+		out[i] = quantileSorted(sorted, pc)
+	}
+	return out
+}
+
+func quantileSorted(sorted []float64, pc float64) float64 {
+	r := pc / 100 * float64(len(sorted)-1)
+	if r <= 0 {
+		return sorted[0]
+	}
+	if r >= float64(len(sorted)-1) {
+		return sorted[len(sorted)-1]
+	}
+	j := int(r)
+	frac := r - float64(j)
+	return sorted[j] + frac*(sorted[j+1]-sorted[j])
 }
 
 // DetectorFalsePositiveRate estimates the fraction of mismatch samples

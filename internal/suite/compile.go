@@ -37,6 +37,9 @@ func (e *Entry) kinds() []string {
 	if e.Scenario != nil {
 		k = append(k, "scenario")
 	}
+	if e.MonteCarlo != nil {
+		k = append(k, "montecarlo")
+	}
 	if len(e.WeightFaults) > 0 {
 		k = append(k, "weight_faults")
 	}
@@ -89,7 +92,7 @@ func (e *Entry) validate() error {
 	kinds := e.kinds()
 	switch {
 	case len(kinds) == 0:
-		return fmt.Errorf("no experiment specified (want one of waveform, circuit, scenario, weight_faults, learning_rate_faults, detection, coverage, overhead)")
+		return fmt.Errorf("no experiment specified (want one of waveform, circuit, scenario, montecarlo, weight_faults, learning_rate_faults, detection, coverage, overhead)")
 	case len(kinds) == 1:
 	case len(kinds) == 2 && kinds[0] == "circuit" && kinds[1] == "scenario":
 		// The sanctioned combination: a characterization whose entry
@@ -109,6 +112,11 @@ func (e *Entry) validate() error {
 	}
 	if e.Scenario != nil {
 		if _, err := e.Scenario.Compile(); err != nil {
+			return err
+		}
+	}
+	if mc := e.MonteCarlo; mc != nil {
+		if err := mc.validate(); err != nil {
 			return err
 		}
 	}
@@ -191,13 +199,19 @@ func (e *Entry) validateOutput() error {
 	if len(out.Columns) > 0 && len(out.Fields) > 0 {
 		return fmt.Errorf("output cannot mix columns and fields")
 	}
+	if out.Pivot != nil && (len(out.Columns) > 0 || len(out.Fields) > 0) {
+		return fmt.Errorf("output cannot mix pivot with columns or fields")
+	}
+	if out.Pivot != nil && e.Scenario == nil {
+		return fmt.Errorf("pivot output needs a scenario entry")
+	}
 	switch {
 	case len(e.Circuit) > 0:
 		if len(out.Columns) == 0 {
 			return fmt.Errorf("circuit output needs columns")
 		}
 		return validateColumns(out.Columns, e.Circuit)
-	case e.Waveform != nil, e.Detection != nil, e.Coverage != nil, e.Overhead != nil:
+	case e.Waveform != nil, e.MonteCarlo != nil, e.Detection != nil, e.Coverage != nil, e.Overhead != nil:
 		// Fixed row shapes; the header is the only declarative part.
 		if len(out.Columns) > 0 || len(out.Fields) > 0 {
 			return fmt.Errorf("%s output takes only csv and header", e.Kind())
@@ -207,6 +221,15 @@ func (e *Entry) validateOutput() error {
 		}
 		return nil
 	case e.Scenario != nil:
+		if p := out.Pivot; p != nil {
+			if e.Scenario.Variation == nil {
+				return fmt.Errorf("pivot output needs a scenario variation axis")
+			}
+			if len(e.Scenario.Defenses) > 0 {
+				return fmt.Errorf("pivot output supports undefended scenarios only")
+			}
+			return validateFields(p.Fields, pivotFields)
+		}
 		return validateFields(out.Fields, scenarioFields)
 	case len(e.WeightFaults) > 0:
 		return validateFields(out.Fields, weightFaultFields)
@@ -295,7 +318,8 @@ func (a *AnchorSpec) Percent(x float64) float64 {
 
 // Field vocabularies for row-shaped outputs.
 var (
-	scenarioFields     = []string{"column_index", "scale_pc", "fraction_pc", "vdd_v", "accuracy_pc", "rel_change_pc", "detected"}
+	scenarioFields     = []string{"column_index", "scale_pc", "fraction_pc", "vdd_v", "quantile_pc", "accuracy_pc", "rel_change_pc", "detected"}
+	pivotFields        = []string{"accuracy_pc", "rel_change_pc", "detected"}
 	weightFaultFields  = []string{"scale", "fraction", "cadence_images", "seed", "accuracy_pc", "rel_change_pc"}
 	learningRateFields = []string{"scale", "accuracy_pc", "rel_change_pc"}
 )
@@ -353,6 +377,12 @@ func (s *ScenarioSpec) Compile() (*core.Scenario, error) {
 	scn.Axes.FractionsPc = s.FractionsPc
 	scn.Axes.VDDs = s.VDDs
 	scn.Axes.MaskSeed = s.MaskSeed
+	if v := s.Variation; v != nil {
+		scn.Axes.Variation = &core.VariationAxis{
+			RelSigmaPc:  v.RelSigmaPc,
+			QuantilesPc: v.QuantilesPc,
+		}
+	}
 	for _, a := range s.ChangesPc {
 		v, err := a.Resolve()
 		if err != nil {
@@ -465,4 +495,41 @@ func (w WeightFaultSpec) compile() core.WeightFaultSpec {
 
 func (l LearningRateFaultSpec) compile() core.LearningRateFaultSpec {
 	return core.LearningRateFaultSpec{Scale: l.Scale}
+}
+
+func (mc *MonteCarloSpec) validate() error {
+	if mc.N <= 0 {
+		return fmt.Errorf("montecarlo needs n > 0, got %d", mc.N)
+	}
+	if mc.SigmaVthV < 0 {
+		return fmt.Errorf("montecarlo sigma_vth_v must be ≥0, got %g", mc.SigmaVthV)
+	}
+	if mc.VDD < 0 {
+		return fmt.Errorf("montecarlo vdd must be ≥0, got %g", mc.VDD)
+	}
+	if mc.TriggerPc < 0 {
+		return fmt.Errorf("montecarlo trigger_pc must be ≥0, got %g", mc.TriggerPc)
+	}
+	for _, q := range mc.QuantilesPc {
+		if q < 0 || q > 100 {
+			return fmt.Errorf("montecarlo quantile %g out of range [0, 100]", q)
+		}
+	}
+	return nil
+}
+
+// compile lowers the spec onto the neuron tier, filling the 65nm-class
+// defaults for omitted fields.
+func (mc *MonteCarloSpec) compile() neuron.MonteCarlo {
+	out := neuron.NewMonteCarlo(mc.N)
+	if mc.SigmaVthV > 0 {
+		out.SigmaVth = mc.SigmaVthV
+	}
+	if mc.Seed != 0 {
+		out.Seed = mc.Seed
+	}
+	if mc.VDD > 0 {
+		out.VDD = mc.VDD
+	}
+	return out
 }

@@ -47,8 +47,9 @@ type NetworkSpec struct {
 }
 
 // Entry is one artifact of the suite: an ID, exactly one primary
-// experiment kind (waveform | circuit | scenario | weight_faults |
-// learning_rate_faults | detection | coverage | overhead), and an
+// experiment kind (waveform | circuit | scenario | montecarlo |
+// weight_faults | learning_rate_faults | detection | coverage |
+// overhead), and an
 // optional output spec. The one sanctioned combination is circuit +
 // scenario (a characterization whose entry also replays a defended
 // accuracy point, Fig. 9c); the output then renders the circuit series
@@ -65,6 +66,7 @@ type Entry struct {
 	Waveform           *WaveformSpec           `json:"waveform,omitempty"`
 	Circuit            []RecipeRef             `json:"circuit,omitempty"`
 	Scenario           *ScenarioSpec           `json:"scenario,omitempty"`
+	MonteCarlo         *MonteCarloSpec         `json:"montecarlo,omitempty"`
 	WeightFaults       []WeightFaultSpec       `json:"weight_faults,omitempty"`
 	LearningRateFaults []LearningRateFaultSpec `json:"learning_rate_faults,omitempty"`
 	Detection          *DetectionSpec          `json:"detection,omitempty"`
@@ -144,6 +146,41 @@ type ScenarioSpec struct {
 	Defenses []DefenseSpec `json:"defenses,omitempty"`
 	// Detector, when present, judges every coordinate.
 	Detector *DetectorSpec `json:"detector,omitempty"`
+	// Variation expands every attack-5 supply coordinate into one cell
+	// per mismatch quantile (core.VariationAxis).
+	Variation *VariationSpec `json:"variation,omitempty"`
+}
+
+// VariationSpec adds the process-variation axis to an attack-5 sweep:
+// the threshold transfer curve is shifted to each listed quantile of a
+// normal mismatch distribution with the given relative sigma.
+type VariationSpec struct {
+	// RelSigmaPc is the relative threshold sigma in percent (100·σ/μ),
+	// anchored on the suite's montecarlo entry.
+	RelSigmaPc float64 `json:"rel_sigma_pc"`
+	// QuantilesPc are the sampled quantiles in percent (e.g. 5, 50, 95).
+	QuantilesPc []float64 `json:"quantiles_pc"`
+}
+
+// MonteCarloSpec is a pooled mismatch characterization of the inverter
+// switching threshold (neuron.MonteCarlo on the Characterizer): N
+// content-addressed samples, printed spread/quantile/false-positive
+// summaries, and one CSV row per sample.
+type MonteCarloSpec struct {
+	// N is the number of mismatch samples.
+	N int `json:"n"`
+	// SigmaVthV is the per-device threshold-voltage sigma in volts;
+	// 0 keeps the 65nm-class default (15 mV).
+	SigmaVthV float64 `json:"sigma_vth_v,omitempty"`
+	// Seed is the sample-stream base seed; 0 keeps the default (1).
+	Seed int64 `json:"seed,omitempty"`
+	// VDD is the supply; 0 keeps nominal (1.0 V).
+	VDD float64 `json:"vdd,omitempty"`
+	// TriggerPc, when >0, prints the detector false-positive rate at
+	// this count-deviation trigger.
+	TriggerPc float64 `json:"trigger_pc,omitempty"`
+	// QuantilesPc, when present, prints these threshold quantiles.
+	QuantilesPc []float64 `json:"quantiles_pc,omitempty"`
 }
 
 // AxisValue is one changes_pc entry: either a literal percent change
@@ -259,6 +296,19 @@ type OutputSpec struct {
 	// Fields select scenario/extension row values by name (see
 	// DESIGN.md's field vocabulary).
 	Fields []string `json:"fields,omitempty"`
+	// Pivot renders a variation scenario with one row per supply and
+	// one column per (field, quantile) pair instead of one row per cell.
+	Pivot *PivotSpec `json:"pivot,omitempty"`
+}
+
+// PivotSpec reshapes a variation scenario's cells into distributional
+// rows: each supply coordinate becomes one row of vdd_v followed by
+// every listed field evaluated at each variation quantile in axis
+// order (field-major, quantile-minor) — the p5/p50/p95 figure layout.
+type PivotSpec struct {
+	// Fields are the pivoted values: accuracy_pc | rel_change_pc |
+	// detected.
+	Fields []string `json:"fields"`
 }
 
 // ColumnSpec computes one circuit-series CSV column.

@@ -206,6 +206,8 @@ func (r *Runner) runEntry(e *Entry) error {
 		return nil
 	case e.Scenario != nil:
 		return r.runScenario(e.Scenario, e.Output)
+	case e.MonteCarlo != nil:
+		return r.runMonteCarlo(e)
 	case len(e.WeightFaults) > 0:
 		return r.runWeightFaults(e)
 	case len(e.LearningRateFaults) > 0:
@@ -421,6 +423,9 @@ func (r *Runner) runScenario(spec *ScenarioSpec, out *OutputSpec) error {
 		coord := fmt.Sprintf("Δ%+g%%/%g%%", p.ScalePc, p.FractionPc)
 		if scn.Attack == core.Attack5 {
 			coord = fmt.Sprintf("VDD=%.2f", p.VDD)
+			if scn.Axes.Variation != nil {
+				coord = fmt.Sprintf("VDD=%.2f p%g", p.VDD, p.QuantilePc)
+			}
 		}
 		line := fmt.Sprintf("  %-12s %-28s accuracy %.2f%% (%+.2f%%)",
 			coord, col, 100*p.Result.Accuracy, p.Result.RelChangePc)
@@ -440,6 +445,9 @@ func (r *Runner) runScenario(spec *ScenarioSpec, out *OutputSpec) error {
 	if out == nil {
 		return nil
 	}
+	if out.Pivot != nil {
+		return r.csv(out, out.CSV, pivotRows(out.Pivot, scn.Axes.Variation, pts))
+	}
 	rows := make([][]float64, len(pts))
 	for i, p := range pts {
 		row := make([]float64, len(out.Fields))
@@ -449,6 +457,25 @@ func (r *Runner) runScenario(spec *ScenarioSpec, out *OutputSpec) error {
 		rows[i] = row
 	}
 	return r.csv(out, out.CSV, rows)
+}
+
+// pivotRows reshapes a variation scenario's cells (supply-major,
+// quantile-minor, undefended only — validated at load) into one row
+// per supply: vdd_v, then each pivot field at every quantile.
+func pivotRows(p *PivotSpec, v *core.VariationAxis, pts []core.SweepPoint) [][]float64 {
+	nq := len(v.QuantilesPc)
+	rows := make([][]float64, 0, len(pts)/nq)
+	for base := 0; base+nq <= len(pts); base += nq {
+		row := make([]float64, 0, 1+len(p.Fields)*nq)
+		row = append(row, pts[base].VDD)
+		for _, f := range p.Fields {
+			for k := 0; k < nq; k++ {
+				row = append(row, scenarioField(f, base+k, pts[base+k]))
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
 }
 
 func scenarioField(name string, index int, p core.SweepPoint) float64 {
@@ -461,6 +488,8 @@ func scenarioField(name string, index int, p core.SweepPoint) float64 {
 		return p.FractionPc
 	case "vdd_v":
 		return p.VDD
+	case "quantile_pc":
+		return p.QuantilePc
 	case "accuracy_pc":
 		return 100 * p.Result.Accuracy
 	case "rel_change_pc":
@@ -472,6 +501,35 @@ func scenarioField(name string, index int, p core.SweepPoint) float64 {
 		return 0
 	}
 	return 0
+}
+
+func (r *Runner) runMonteCarlo(en *Entry) error {
+	mc := en.MonteCarlo.compile()
+	samples, err := r.char().MonteCarloThresholds(mc)
+	if err != nil {
+		return err
+	}
+	w := r.stdout()
+	mean, sigma := neuron.Spread(samples)
+	fmt.Fprintf(w, "mismatch threshold over %d samples (σ_Vth %.0f mV, VDD %.2f V):\n",
+		mc.N, 1e3*mc.SigmaVth, mc.VDD)
+	fmt.Fprintf(w, "  mean %.4f V, sigma %.4f V (%.2f%% relative)\n",
+		mean, sigma, 100*sigma/mean)
+	if qs := en.MonteCarlo.QuantilesPc; len(qs) > 0 {
+		vals := neuron.Quantiles(samples, qs)
+		for i, q := range qs {
+			fmt.Fprintf(w, "  p%-4g %.4f V\n", q, vals[i])
+		}
+	}
+	if trig := en.MonteCarlo.TriggerPc; trig > 0 {
+		fmt.Fprintf(w, "  detector false-positive rate at ±%g%% trigger: %.4f\n",
+			trig, neuron.DetectorFalsePositiveRate(samples, trig))
+	}
+	rows := make([][]float64, len(samples))
+	for i, s := range samples {
+		rows[i] = []float64{float64(i), s}
+	}
+	return r.writeOut(en.Output, rows)
 }
 
 func (r *Runner) runWeightFaults(en *Entry) error {

@@ -19,8 +19,8 @@ func TestPaperSuiteLoadsAndValidates(t *testing.T) {
 	if err := s.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	if len(s.Entries) != 21 {
-		t.Fatalf("paper suite has %d entries, want 21", len(s.Entries))
+	if len(s.Entries) != 24 {
+		t.Fatalf("paper suite has %d entries, want 24", len(s.Entries))
 	}
 }
 

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # bench.sh — run the tier benchmarks and emit a machine-readable bench
-# record. The checked-in copy (BENCH_PR8.json) pins the numbers
-# measured when the training-pass engine landed; CI regenerates the
-# file on every push and uploads it as an artifact, so the bench
-# trajectory is recorded per-commit without gating merges on timing.
+# record. The checked-in copy (BENCH_PR9.json) pins the numbers
+# measured when the Monte-Carlo process-variation engine landed; CI
+# regenerates the file on every push and uploads it as an artifact, so
+# the bench trajectory is recorded per-commit without gating merges on
+# timing.
 #
 # Besides the micro-benches, the record embeds the full campaign report
 # (phase histograms, cache counters, utilization) of one quickstart
@@ -26,7 +27,7 @@ if [ $# -lt 1 ]; then
 fi
 out="$1"
 benchtime="${BENCHTIME:-2x}"
-pattern="${BENCH_PATTERN:-BenchmarkEvaluate|BenchmarkCountsParallel|BenchmarkStep_|BenchmarkTrainImage|BenchmarkTrainMinibatch|BenchmarkEncode_|BenchmarkSpiceTransientStep|BenchmarkCharacterize_AHThresholdVsVDD}"
+pattern="${BENCH_PATTERN:-BenchmarkEvaluate|BenchmarkCountsParallel|BenchmarkStep_|BenchmarkTrainImage|BenchmarkTrainMinibatch|BenchmarkEncode_|BenchmarkSpiceTransientStep|BenchmarkCharacterize_AHThresholdVsVDD|BenchmarkMonteCarloThreshold}"
 
 raw="$(mktemp)"
 work="$(mktemp -d)"

@@ -1,0 +1,97 @@
+// Command cached serves a campaign content store over HTTP: the
+// server side of the fabric that lets any number of snn-attack /
+// snn-worker / figures processes — on any number of machines — share
+// one content-addressed result namespace (see internal/fabric and
+// runner.HTTPCache; wire format runner.StoreProtocol).
+//
+// The store directory uses the exact -cache-dir layout (network/,
+// circuit/ tier subdirectories of one-JSON-file-per-cell), so an
+// existing warm cache directory can be served as-is, and a store
+// directory can be mounted back as a plain -cache-dir.
+//
+// Usage:
+//
+//	cached -dir store                          # serve ./store on a random port
+//	cached -dir store -addr 0.0.0.0:8475       # fixed address
+//	cached -dir store -addr-file store.addr    # write the bound address (CI/scripts)
+//
+// Long-lived campaign service: POST a suite JSON to /campaign and poll
+// GET /campaign/{id} for live present/missing progress against the
+// store manifest; GET /campaign/{id}/cells serves the sweep points
+// already computed. GET /metrics exports the obs registry (request
+// counters, per-tier cache counters, request-duration histograms);
+// GET /healthz reports liveness and the store protocol version.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"snnfi/internal/fabric"
+	"snnfi/internal/obs"
+	"snnfi/internal/runner"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cached:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		dir      = flag.String("dir", "store", "store directory (per-tier subdirectories, the -cache-dir layout)")
+		addr     = flag.String("addr", "127.0.0.1:0", "listen address (port 0 = pick a free port)")
+		addrFile = flag.String("addr-file", "", "write the bound address to this file once listening (for scripts that cannot race a fixed port)")
+		dataDir  = flag.String("data", "", "optional real-MNIST directory for campaign audits (must match what workers train from)")
+		quiet    = flag.Bool("quiet", false, "suppress the startup line")
+	)
+	flag.Parse()
+
+	reg := obs.NewRegistry()
+	srv, err := fabric.NewServer(*dir, reg)
+	if err != nil {
+		return err
+	}
+	srv.DataDir = *dataDir
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	if *addrFile != "" {
+		// Atomic write: a script polling for this file must never read
+		// a half-written address.
+		tmp := *addrFile + ".tmp"
+		if err := os.WriteFile(tmp, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			return err
+		}
+		if err := os.Rename(tmp, *addrFile); err != nil {
+			return err
+		}
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "cached: serving %s on http://%s (%s)\n", *dir, ln.Addr(), runner.StoreProtocol)
+	}
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case <-sig:
+		// Workers degrade to recompute-on-miss when the store goes
+		// away, so a plain close loses nothing durable — cells already
+		// written are safe on disk (temp-file + rename).
+		return httpSrv.Close()
+	}
+}

@@ -9,9 +9,10 @@
 // Usage:
 //
 //	snn-attack -attack 3 -change -20 -fraction 100 [-n 1000]
+//	snn-attack -attack 3 -change -20,-10,10,20 -defense sizing
 //	snn-attack -attack 5 -vdd 0.8 [-defense bandgap] [-cache-dir DIR]
-//	snn-attack -attack 4 -change -20 -defense sizing
 //	snn-attack -attack 4 -change -20 -cache-dir DIR -audit
+//	snn-attack -attack 3 -change -20,10 -store http://HOST:PORT -audit-json -
 //	snn-attack -suite my-suite.json [-only S1,S2] [-out results]
 //	snn-attack -suite my-suite.json -list
 //
@@ -19,29 +20,29 @@
 // threshold), 4 (both layers), 5 (black-box VDD).
 // Defenses: none, robust-driver, bandgap, sizing, comparator.
 //
-// The attack compiles into a core.Scenario — one coordinate crossed
-// with the undefended column and any requested defense — and executes
-// on internal/runner's campaign pool: -workers sizes it, -jsonl
-// streams every cell as a JSON-lines record, and -cache-dir persists
-// trained results so a repeated invocation (same data, same
-// configuration) retrains nothing. -audit (with -cache-dir) prints
-// which of the scenario's cells the directory already holds and exits
-// without training anything.
+// The attack compiles into a core.Scenario — the axis coordinates
+// crossed with the undefended column and any requested defense — and
+// executes on internal/runner's campaign pool: -workers sizes it,
+// -jsonl streams every cell as a JSON-lines record, and -cache-dir /
+// -store persist trained results (memory→disk→store chain) so a
+// repeated invocation (same data, same configuration) retrains
+// nothing; with -store that holds across machines. -audit prints
+// which of the scenario's cells the cache tiers already hold and
+// exits without training anything; -audit-json writes the same audit
+// machine-readably (the fabric's shard-assignment input, see
+// cmd/snn-worker).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
 
 	"snnfi/internal/cli"
 	"snnfi/internal/core"
-	"snnfi/internal/defense"
 	"snnfi/internal/runner"
 	"snnfi/internal/snn"
 	"snnfi/internal/spice"
-	"snnfi/internal/xfer"
 )
 
 func main() {
@@ -55,14 +56,10 @@ func main() {
 // JSONL sink) executes on every path.
 func run() (retErr error) {
 	var (
-		attack   = flag.Int("attack", 3, "attack number (1-5)")
-		changePc = flag.Float64("change", -20, "parameter change in percent (attacks 1-4)")
-		fraction = flag.Float64("fraction", 100, "percent of the layer affected (attacks 2-3)")
-		vdd      = flag.Float64("vdd", 0.8, "supply voltage (attack 5)")
-		nImages  = flag.Int("n", 1000, "training images")
-		dataDir  = flag.String("data", "", "optional real-MNIST directory")
-		defName  = flag.String("defense", "none", "defense: none|robust-driver|bandgap|sizing|comparator")
-		audit    = flag.Bool("audit", false, "report which cells -cache-dir already holds, without training anything")
+		nImages   = flag.Int("n", 1000, "training images")
+		dataDir   = flag.String("data", "", "optional real-MNIST directory")
+		audit     = flag.Bool("audit", false, "report which cells -cache-dir/-store already hold, without training anything")
+		auditJSON = flag.String("audit-json", "", "write the audit as JSON to this file ('-' = stdout); implies -audit")
 
 		suitePath = flag.String("suite", "", "interpret a declarative suite file instead of building one scenario from the flags")
 		only      = flag.String("only", "", "comma-separated suite entry ids (with -suite)")
@@ -70,10 +67,14 @@ func run() (retErr error) {
 		validate  = flag.Bool("validate", false, "check the suite file and exit (with -suite)")
 		outDir    = flag.String("out", "", "output directory for suite CSV artifacts (with -suite)")
 	)
+	attackFlags := cli.AddAttackFlags(flag.CommandLine)
 	shared := cli.AddFlags(cli.Campaign)
 	flag.Parse()
-	if *audit && shared.CacheDir == "" {
-		return fmt.Errorf("-audit needs -cache-dir to inspect")
+	if *auditJSON != "" {
+		*audit = true
+	}
+	if *audit && shared.CacheDir == "" && shared.Store == "" {
+		return fmt.Errorf("-audit needs -cache-dir or -store to inspect")
 	}
 	if (*only != "" || *list || *validate || *outDir != "") && *suitePath == "" {
 		return fmt.Errorf("-only/-list/-validate/-out need -suite")
@@ -105,33 +106,9 @@ func run() (retErr error) {
 		})
 	}
 
-	scn := &core.Scenario{Detector: defense.NewDetector(xfer.IAF)}
-	switch *attack {
-	case 1, 4:
-		scn.Attack = core.AttackID(*attack)
-		scn.Axes = core.Axes{ChangesPc: []float64{*changePc}}
-	case 2, 3:
-		scn.Attack = core.AttackID(*attack)
-		scn.Axes = core.Axes{ChangesPc: []float64{*changePc}, FractionsPc: []float64{*fraction}}
-	case 5:
-		scn.Attack = core.Attack5
-		scn.Axes = core.Axes{VDDs: []float64{*vdd}, Kind: xfer.IAF}
-	default:
-		return fmt.Errorf("unknown attack %d (want 1-5)", *attack)
-	}
-
-	switch *defName {
-	case "none":
-	case "robust-driver":
-		scn.Defenses = []core.Hardening{defense.RobustDriver{ResidualPc: 0.1}}
-	case "bandgap":
-		scn.Defenses = []core.Hardening{defense.BandgapThreshold{Kind: xfer.IAF}}
-	case "sizing":
-		scn.Defenses = []core.Hardening{defense.Sizing{WLMultiple: 32}}
-	case "comparator":
-		scn.Defenses = []core.Hardening{defense.ComparatorNeuron{}}
-	default:
-		return fmt.Errorf("unknown defense %q", *defName)
+	scn, err := attackFlags.Scenario()
+	if err != nil {
+		return err
 	}
 
 	exp, err := core.NewExperiment(*dataDir, *nImages, snn.DefaultConfig())
@@ -144,36 +121,46 @@ func run() (retErr error) {
 	exp.Obs = sess.Registry
 
 	// Telemetry: the monitor adopts the session registry and counts
-	// cells; instrument the memory tier before it disappears inside
-	// Tiered, then the disk tier, then the circuit solver. None of this
-	// changes what the campaign computes.
-	mon := core.NewMonitor(exp, fmt.Sprintf("attack%d", *attack))
+	// cells; instrument the memory tier before it disappears inside the
+	// chain, then the slower tiers, then the circuit solver. None of
+	// this changes what the campaign computes.
+	mon := core.NewMonitor(exp, fmt.Sprintf("attack%d", *attackFlags.Attack))
 	if mem, ok := exp.Cache.(*runner.MemoryCache[*core.Result]); ok {
 		mem.Instrument(sess.Registry, "cache.network.mem")
 	}
 	spice.Instrument(sess.Registry)
 
-	var disk *runner.DiskCache[*core.Result]
-	if shared.CacheDir != "" {
-		// Same layout as suite mode and cmd/figures (network/ under the
-		// cache dir), so one -cache-dir warms every binary.
-		disk, err = cli.Disk[*core.Result](sess, filepath.Join(shared.CacheDir, "network"), "cache.network", "network")
-		if err != nil {
-			return err
-		}
-		exp.Cache = runner.NewTiered[*core.Result](exp.Cache, disk)
+	// Same tier layout as suite mode and cmd/figures (network/ under
+	// -cache-dir, the "network" store tier), so one cache warms every
+	// binary — and with -store, every machine.
+	cache, disk, store, err := cli.Tiers[*core.Result](sess, exp.Cache, "network")
+	if err != nil {
+		return err
 	}
+	exp.Cache = cache
 
 	if *audit {
-		keys, err := disk.Manifest()
+		held, source, err := heldCells(disk, store)
 		if err != nil {
 			return err
 		}
-		a, err := exp.AuditScenario(scn, core.HeldSet(keys))
+		a, err := exp.AuditScenario(scn, core.HeldSet(held))
 		if err != nil {
 			return err
 		}
-		fmt.Printf("audit of %s against %s (%d keys held):\n", a.Name, shared.CacheDir, len(keys))
+		if *auditJSON != "" {
+			w := os.Stdout
+			if *auditJSON != "-" {
+				f, err := os.Create(*auditJSON)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				w = f
+			}
+			return a.WriteJSON(w)
+		}
+		fmt.Printf("audit of %s against %s (%d keys held):\n", a.Name, source, len(held))
 		for _, c := range a.Cells {
 			status := "MISSING"
 			if c.Present {
@@ -181,7 +168,7 @@ func run() (retErr error) {
 			}
 			fmt.Printf("  %-8s %s\n", status, c.Desc)
 		}
-		fmt.Printf("%d/%d cells on disk; a resume would recompute %d cells\n",
+		fmt.Printf("%d/%d cells held; a resume would recompute %d cells\n",
 			a.Present, a.Present+a.Missing, a.Missing)
 		return nil
 	}
@@ -207,11 +194,43 @@ func run() (retErr error) {
 		fmt.Printf("  accuracy %.2f%%  relative change %+.2f%%  detector: %s\n",
 			100*p.Result.Accuracy, p.Result.RelChangePc, verdict(p.Detected))
 	}
-	// The count the disk cache exists to drive to zero: a repeated
-	// invocation against a warm -cache-dir must print 0.
+	// The count the cache chain exists to drive to zero: a repeated
+	// invocation against a warm -cache-dir or -store must print 0.
 	fmt.Printf("trained networks: %d\n", exp.TrainCount())
 
 	return sess.FinishReport(mon)
+}
+
+// heldCells merges the manifests of whichever slow tiers are
+// configured — an audit reflects what a resume's chain would find,
+// and a resume probes disk and store alike.
+func heldCells(disk *runner.DiskCache[*core.Result], store *runner.HTTPCache[*core.Result]) ([]string, string, error) {
+	var held []string
+	var sources []string
+	if disk != nil {
+		keys, err := disk.Manifest()
+		if err != nil {
+			return nil, "", err
+		}
+		held = append(held, keys...)
+		sources = append(sources, disk.Dir())
+	}
+	if store != nil {
+		keys, err := store.Manifest()
+		if err != nil {
+			return nil, "", err
+		}
+		held = append(held, keys...)
+		sources = append(sources, "the store")
+	}
+	source := ""
+	for i, s := range sources {
+		if i > 0 {
+			source += " + "
+		}
+		source += s
+	}
+	return held, source, nil
 }
 
 func verdict(detected bool) string {

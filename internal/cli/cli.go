@@ -35,12 +35,17 @@ const (
 	Quiet
 	Progress
 	Pprof
+	Store
 
 	// Campaign is the full surface of the sweep-running binaries.
-	Campaign = Workers | JSONL | CacheDir | Report | Quiet | Progress | Pprof
+	Campaign = Workers | JSONL | CacheDir | Report | Quiet | Progress | Pprof | Store
 	// Training is snn-train's surface: no sweep stream, no campaign
 	// report, no per-cell progress logging.
 	Training = Workers | CacheDir | Quiet | Pprof
+	// Worker is cmd/snn-worker's surface: a fabric worker streams no
+	// JSONL and writes no campaign report (the coordinator merge owns
+	// both), but shares everything else including the store.
+	Worker = Workers | CacheDir | Quiet | Progress | Pprof | Store
 )
 
 // Flags holds the shared flag values after flag.Parse.
@@ -51,6 +56,7 @@ type Flags struct {
 	Report   string
 	Quiet    bool
 	Progress bool
+	Store    string
 
 	prof *diag.Flags
 }
@@ -81,6 +87,9 @@ func AddFlagsTo(fs *flag.FlagSet, g Group) *Flags {
 	}
 	if g&Progress != 0 {
 		fs.BoolVar(&f.Progress, "progress", false, "log each completed sweep cell to stderr")
+	}
+	if g&Store != 0 {
+		fs.StringVar(&f.Store, "store", "", "base URL of a shared campaign content store (cmd/cached); results are read from and written through it, composing with -cache-dir as memory→disk→store")
 	}
 	if g&Pprof != 0 {
 		f.prof = diag.AddFlagsTo(fs)

@@ -1,0 +1,174 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"snnfi/internal/core"
+	"snnfi/internal/defense"
+	"snnfi/internal/runner"
+	"snnfi/internal/xfer"
+)
+
+// Fabric-side CLI plumbing: the list-valued axis flags, the shared
+// single-scenario builder (cmd/snn-attack and cmd/snn-worker MUST
+// compile the identical core.Scenario from the same flags, or their
+// cells get different content addresses and the fabric shards
+// nothing), and the cache-chain composition for -cache-dir/-store.
+
+// Floats is a flag.Value holding a comma-separated float64 list. The
+// default survives until the first explicit -flag value, which
+// replaces it (repeated flags append), so `-change -20` keeps its
+// single-value meaning while `-change -20,-10,10` sweeps an axis.
+type Floats struct {
+	vals []float64
+	set  bool
+}
+
+// FloatsFlag registers a Floats flag with a default list.
+func FloatsFlag(fs *flag.FlagSet, name string, def []float64, usage string) *Floats {
+	f := &Floats{vals: def}
+	fs.Var(f, name, usage)
+	return f
+}
+
+// String renders the current list, comma-separated.
+func (f *Floats) String() string {
+	if f == nil {
+		return ""
+	}
+	parts := make([]string, len(f.vals))
+	for i, v := range f.vals {
+		parts[i] = strconv.FormatFloat(v, 'g', -1, 64)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Set parses one comma-separated value; the first Set discards the
+// default.
+func (f *Floats) Set(s string) error {
+	if !f.set {
+		f.vals, f.set = nil, true
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return fmt.Errorf("bad value %q: want a comma-separated number list", part)
+		}
+		f.vals = append(f.vals, v)
+	}
+	if len(f.vals) == 0 {
+		return fmt.Errorf("empty list")
+	}
+	return nil
+}
+
+// Values returns the parsed list (the default if the flag never
+// appeared).
+func (f *Floats) Values() []float64 { return f.vals }
+
+// AttackFlags is the single-scenario flag surface shared by
+// cmd/snn-attack and cmd/snn-worker.
+type AttackFlags struct {
+	Attack    *int
+	Changes   *Floats
+	Fractions *Floats
+	VDDs      *Floats
+	Defense   *string
+}
+
+// AddAttackFlags registers the scenario flags on fs.
+func AddAttackFlags(fs *flag.FlagSet) *AttackFlags {
+	return &AttackFlags{
+		Attack:    fs.Int("attack", 3, "attack number (1-5)"),
+		Changes:   FloatsFlag(fs, "change", []float64{-20}, "parameter change(s) in percent, comma-separated (attacks 1-4)"),
+		Fractions: FloatsFlag(fs, "fraction", []float64{100}, "percent(s) of the layer affected, comma-separated (attacks 2-3)"),
+		VDDs:      FloatsFlag(fs, "vdd", []float64{0.8}, "supply voltage(s), comma-separated (attack 5)"),
+		Defense:   fs.String("defense", "none", "defense: none|robust-driver|bandgap|sizing|comparator"),
+	}
+}
+
+// Scenario compiles the flags into the canonical core.Scenario — the
+// one deterministic mapping both the coordinator and every worker run,
+// so a cell's content address is identical in every process.
+func (a *AttackFlags) Scenario() (*core.Scenario, error) {
+	scn := &core.Scenario{Detector: defense.NewDetector(xfer.IAF)}
+	switch *a.Attack {
+	case 1, 4:
+		scn.Attack = core.AttackID(*a.Attack)
+		scn.Axes = core.Axes{ChangesPc: a.Changes.Values()}
+	case 2, 3:
+		scn.Attack = core.AttackID(*a.Attack)
+		scn.Axes = core.Axes{ChangesPc: a.Changes.Values(), FractionsPc: a.Fractions.Values()}
+	case 5:
+		scn.Attack = core.Attack5
+		scn.Axes = core.Axes{VDDs: a.VDDs.Values(), Kind: xfer.IAF}
+	default:
+		return nil, fmt.Errorf("unknown attack %d (want 1-5)", *a.Attack)
+	}
+	switch *a.Defense {
+	case "none":
+	case "robust-driver":
+		scn.Defenses = []core.Hardening{defense.RobustDriver{ResidualPc: 0.1}}
+	case "bandgap":
+		scn.Defenses = []core.Hardening{defense.BandgapThreshold{Kind: xfer.IAF}}
+	case "sizing":
+		scn.Defenses = []core.Hardening{defense.Sizing{WLMultiple: 32}}
+	case "comparator":
+		scn.Defenses = []core.Hardening{defense.ComparatorNeuron{}}
+	default:
+		return nil, fmt.Errorf("unknown defense %q", *a.Defense)
+	}
+	return scn, nil
+}
+
+// httpObsName names an HTTP tier's instruments: the network tier (the
+// primary result namespace) owns the plain "cache.http" prefix, other
+// tiers qualify it.
+func httpObsName(tier string) string {
+	if tier == "network" {
+		return "cache.http"
+	}
+	return "cache.http." + tier
+}
+
+// Tiers composes one result tier's cache chain under the session's
+// lifecycle: memory → disk (-cache-dir, when set) → store (-store,
+// when set), each slower level instrumented, warned on first write
+// failure and surfaced at Close exactly like the classic disk tier.
+// With neither flag set, mem is returned untouched. The typed disk
+// and HTTP tiers come back too (nil when absent) for callers that
+// need Manifest().
+func Tiers[T any](s *Session, mem runner.Cache[T], tier string) (runner.Cache[T], *runner.DiskCache[T], *runner.HTTPCache[T], error) {
+	levels := []runner.Cache[T]{mem}
+	var disk *runner.DiskCache[T]
+	if s.Flags.CacheDir != "" {
+		var err error
+		disk, err = Disk[T](s, filepath.Join(s.Flags.CacheDir, tier), "cache."+tier, tier)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		levels = append(levels, disk)
+	}
+	var store *runner.HTTPCache[T]
+	if s.Flags.Store != "" {
+		store = runner.NewHTTPCache[T](s.Flags.Store, tier)
+		store.Instrument(s.Registry, httpObsName(tier))
+		store.OnFirstWriteError = s.WarnWriteError(tier + " store")
+		s.TrackDisk(store)
+		levels = append(levels, store)
+	}
+	if len(levels) == 1 {
+		return mem, nil, nil, nil
+	}
+	chain := runner.NewChain[T](levels...)
+	chain.Instrument(s.Registry, "cache."+tier+".chain")
+	return chain, disk, store, nil
+}

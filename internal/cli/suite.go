@@ -3,7 +3,6 @@ package cli
 import (
 	"fmt"
 	"os"
-	"path/filepath"
 	"strings"
 
 	"snnfi/internal/core"
@@ -64,16 +63,14 @@ func (s *Session) RunSuite(opts SuiteOptions) error {
 	char.OnProgress = s.OnProgress()
 	char.Sinks = s.Sinks()
 	char.Obs = s.Registry
-	if s.Flags.CacheDir != "" {
-		// Circuit measurements persist beside the network results
-		// (separate subdirectory, same lifecycle): repeated runs
-		// re-measure nothing.
-		cache, err := Tier[float64](s, char.Cache, filepath.Join(s.Flags.CacheDir, "circuit"), "cache.circuit", "circuit")
-		if err != nil {
-			return err
-		}
-		char.Cache = cache
+	// Circuit measurements persist beside the network results (separate
+	// tier subdirectory/namespace, same lifecycle): repeated runs
+	// re-measure nothing, and with -store the fabric shares them too.
+	circuitCache, _, _, err := Tiers[float64](s, char.Cache, "circuit")
+	if err != nil {
+		return err
 	}
+	char.Cache = circuitCache
 	if opts.OutDir != "" {
 		if err := os.MkdirAll(opts.OutDir, 0o755); err != nil {
 			return err
@@ -94,10 +91,7 @@ func (s *Session) RunSuite(opts SuiteOptions) error {
 		Obs:        s.Registry,
 	}
 	r.OnExperiment = func(e *core.Experiment) error {
-		if s.Flags.CacheDir == "" {
-			return nil
-		}
-		cache, err := Tier[*core.Result](s, e.Cache, filepath.Join(s.Flags.CacheDir, "network"), "cache.network", "network")
+		cache, _, _, err := Tiers[*core.Result](s, e.Cache, "network")
 		if err != nil {
 			return err
 		}

@@ -1,23 +1,35 @@
 package core
 
+import (
+	"encoding/json"
+	"io"
+)
+
 // Campaign manifest audit: given a scenario and the set of keys a
-// result cache holds (runner.DiskCache.Manifest), report which cells
-// are already computed and which a resume would retrain — without
-// training anything. cmd/snn-attack surfaces this as -audit.
+// result cache holds (runner.DiskCache.Manifest or the HTTP store's
+// manifest), report which cells are already computed and which a
+// resume would retrain — without training anything. cmd/snn-attack
+// surfaces this as -audit (human table) and -audit-json (the
+// machine-readable form the fabric's shard assignment consumes).
+
+// AuditSchema names the -audit-json layout. Consumers (cmd/snn-worker,
+// fabric tooling, scripts) match on it; bump it when a field changes
+// meaning.
+const AuditSchema = "snnfi-audit-v1"
 
 // CellStatus is one compiled cell's cache standing.
 type CellStatus struct {
-	Desc    string // human cell description (compile order)
-	Key     string // content address the cache is probed with
-	Present bool
+	Desc    string `json:"desc"` // human cell description (compile order)
+	Key     string `json:"key"`  // content address the cache is probed with
+	Present bool   `json:"present"`
 }
 
 // ScenarioAudit summarizes a scenario's resume status against a cache.
 type ScenarioAudit struct {
-	Name    string
-	Cells   []CellStatus // baseline first, then compile order
-	Present int
-	Missing int
+	Name    string       `json:"scenario"`
+	Cells   []CellStatus `json:"cells"` // baseline first, then compile order
+	Present int          `json:"present"`
+	Missing int          `json:"missing"`
 }
 
 // Complete reports whether a resume would retrain nothing.
@@ -50,6 +62,24 @@ func (e *Experiment) AuditScenario(s *Scenario, held func(key string) bool) (*Sc
 		add(c.desc, c.key(e))
 	}
 	return audit, nil
+}
+
+// WriteJSON renders the audit in the -audit-json wire format: the
+// schema name, then the cells in compile order (baseline first) with
+// their content addresses and standing. Keys appear exactly as the
+// cache is probed with them, so the output is directly usable as the
+// fabric's shard-assignment input — a worker executes the missing
+// keys assigned to it and nothing else. The rendering is
+// deterministic: same audit, same bytes.
+func (a *ScenarioAudit) WriteJSON(w io.Writer) error {
+	type auditJSON struct {
+		Schema string `json:"schema"`
+		*ScenarioAudit
+		Complete bool `json:"complete"`
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(auditJSON{Schema: AuditSchema, ScenarioAudit: a, Complete: a.Complete()})
 }
 
 // HeldSet adapts a key list (runner.DiskCache.Manifest output) into

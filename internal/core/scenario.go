@@ -296,6 +296,33 @@ func (e *Experiment) RunScenario(s *Scenario) ([]SweepPoint, error) {
 	return e.runCampaign(meta, cells)
 }
 
+// RunScenarioSubset compiles the scenario and executes only the cells
+// the filter keeps (called with each cell's compile-order index and
+// content address), returning their points in compile order. This is
+// the fabric worker's entry point: a shard executes exactly its
+// assigned cells, writing each result through the experiment's cache
+// chain into the shared store, and discards nothing else — the
+// coordinator later re-runs the full scenario against the warmed
+// store, where every cell is a cache hit, to emit the merged sinks.
+// Because a cell's result is a pure function of its content address,
+// which process computed it is unobservable in the merged output.
+//
+// An empty selection returns immediately without training anything —
+// the shared baseline included, so a fully-warm shard costs nothing.
+func (e *Experiment) RunScenarioSubset(s *Scenario, keep func(index int, key string) bool) ([]SweepPoint, error) {
+	cells, meta, err := s.compile()
+	if err != nil {
+		return nil, err
+	}
+	kept := make([]campaignJob, 0, len(cells))
+	for i, c := range cells {
+		if keep(i, c.key(e)) {
+			kept = append(kept, c)
+		}
+	}
+	return e.runCampaign(meta, kept)
+}
+
 // ScenarioKeys returns the content addresses of every cell the
 // scenario compiles to, in compile order — the keys a disk cache will
 // be probed with. Campaign tooling uses it to audit which cells of a

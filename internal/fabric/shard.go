@@ -1,0 +1,26 @@
+package fabric
+
+// Shard assignment. Cells are pure functions of their content
+// address, so distribution is scheduling, not correctness: any
+// partition of the missing-cell list produces the same store contents
+// once every worker finishes. Round-robin over the audit-ordered list
+// is the simplest partition that is deterministic (every worker
+// derives its own shard from the same audit, no coordination
+// channel), covers every key exactly once, and balances well because
+// neighboring cells cost about the same (one training each).
+
+// Shard returns the subset of keys that worker `shard` of `shards`
+// executes: keys[i] with i % shards == shard. Callers pass the
+// missing-cell list in audit order; all shards together cover it
+// exactly. Panics on an impossible geometry — a worker launched with
+// a bad -shard flag must fail loudly, not quietly compute nothing.
+func Shard(keys []string, shard, shards int) []string {
+	if shards < 1 || shard < 0 || shard >= shards {
+		panic("fabric: shard index out of range")
+	}
+	var out []string
+	for i := shard; i < len(keys); i += shards {
+		out = append(out, keys[i])
+	}
+	return out
+}

@@ -1,0 +1,54 @@
+package fabric
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestShardPartition: every geometry covers the key list exactly —
+// disjoint shards, union equals the input, near-equal sizes — and the
+// assignment is a pure function of (keys, shard, shards) so every
+// worker derives it independently.
+func TestShardPartition(t *testing.T) {
+	keys := []string{"a", "b", "c", "d", "e", "f", "g"}
+	for shards := 1; shards <= 9; shards++ {
+		var union []string
+		sizes := make([]int, shards)
+		for i := 0; i < shards; i++ {
+			part := Shard(keys, i, shards)
+			sizes[i] = len(part)
+			union = append(union, part...)
+		}
+		if len(union) != len(keys) {
+			t.Fatalf("%d shards covered %d keys, want %d", shards, len(union), len(keys))
+		}
+		sorted := append([]string(nil), union...)
+		sort.Strings(sorted)
+		for i, k := range sorted {
+			if k != keys[i] {
+				t.Fatalf("%d shards: union = %v, want a permutation of %v", shards, union, keys)
+			}
+		}
+		for _, n := range sizes {
+			if n > (len(keys)+shards-1)/shards {
+				t.Fatalf("%d shards: unbalanced sizes %v", shards, sizes)
+			}
+		}
+	}
+	if got := Shard(nil, 0, 2); len(got) != 0 {
+		t.Fatalf("empty key list sharded to %v", got)
+	}
+}
+
+func TestShardRejectsBadGeometry(t *testing.T) {
+	for _, g := range []struct{ shard, shards int }{{0, 0}, {-1, 2}, {2, 2}, {5, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Shard(keys, %d, %d) must panic", g.shard, g.shards)
+				}
+			}()
+			Shard([]string{"a"}, g.shard, g.shards)
+		}()
+	}
+}

@@ -276,6 +276,20 @@ func (r *Registry) RegisterCounter(name string, c *Counter) {
 	r.counters[name] = c
 }
 
+// RegisterHistogram publishes an existing histogram under name,
+// replacing any instrument previously there — the histogram analogue
+// of RegisterCounter, for components that keep their own duration
+// accounting (the HTTP cache's round-trip histogram) and want the
+// registry to export the very same buckets.
+func (r *Registry) RegisterHistogram(name string, h *Histogram) {
+	if r == nil || h == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hists[name] = h
+}
+
 // Gauge returns (creating if needed) the named gauge.
 func (r *Registry) Gauge(name string) *Gauge {
 	if r == nil {

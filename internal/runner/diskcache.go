@@ -236,37 +236,3 @@ func (c *DiskCache[T]) setErr(err error) {
 		warn(err)
 	}
 }
-
-// Tiered composes a fast cache over a slow one, write-through: Get
-// tries Fast first and promotes Slow hits into Fast; Put stores in
-// both. The canonical pairing is MemoryCache over DiskCache — process-
-// local lookups stay lock-cheap while every result still reaches disk
-// for cross-process resume.
-type Tiered[T any] struct {
-	Fast Cache[T]
-	Slow Cache[T]
-}
-
-// NewTiered builds the write-through composition.
-func NewTiered[T any](fast, slow Cache[T]) Tiered[T] {
-	return Tiered[T]{Fast: fast, Slow: slow}
-}
-
-// Get implements Cache.
-func (c Tiered[T]) Get(key string) (T, bool) {
-	if v, ok := c.Fast.Get(key); ok {
-		return v, true
-	}
-	if v, ok := c.Slow.Get(key); ok {
-		c.Fast.Put(key, v)
-		return v, true
-	}
-	var zero T
-	return zero, false
-}
-
-// Put implements Cache.
-func (c Tiered[T]) Put(key string, v T) {
-	c.Fast.Put(key, v)
-	c.Slow.Put(key, v)
-}
